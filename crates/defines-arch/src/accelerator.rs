@@ -1,0 +1,227 @@
+//! The complete accelerator description.
+
+use crate::memory::{HierarchyError, MemoryHierarchy, MemoryLevel};
+use crate::operand::Operand;
+use crate::pe_array::{PeArray, SpatialUnrolling};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced while building an [`Accelerator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// The memory hierarchy is invalid.
+    Hierarchy(HierarchyError),
+    /// No PE array was specified.
+    MissingPeArray,
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::Hierarchy(e) => write!(f, "invalid memory hierarchy: {e}"),
+            ArchError::MissingPeArray => write!(f, "accelerator has no PE array"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+impl From<HierarchyError> for ArchError {
+    fn from(e: HierarchyError) -> Self {
+        ArchError::Hierarchy(e)
+    }
+}
+
+/// A DNN accelerator: PE array + memory hierarchy.
+///
+/// ```
+/// use defines_arch::{AcceleratorBuilder, MemoryLevel, Operand, SpatialUnrolling};
+/// use defines_workload::Dim;
+///
+/// let acc = AcceleratorBuilder::new("my-accel")
+///     .pe_array(SpatialUnrolling::from_pairs([(Dim::K, 16), (Dim::C, 16)]), 0.5)
+///     .add_level(MemoryLevel::sram("LB", 64 * 1024, Operand::ALL))
+///     .add_level(MemoryLevel::sram("GB", 1024 * 1024, Operand::ALL))
+///     .build()?;
+/// assert_eq!(acc.pe_array().total_macs(), 256);
+/// assert_eq!(acc.hierarchy().len(), 3); // LB, GB, DRAM (added automatically)
+/// # Ok::<(), defines_arch::ArchError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    name: String,
+    pe_array: PeArray,
+    hierarchy: MemoryHierarchy,
+}
+
+impl Accelerator {
+    /// The accelerator's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The PE array.
+    pub fn pe_array(&self) -> &PeArray {
+        &self.pe_array
+    }
+
+    /// The memory hierarchy.
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+
+    /// Returns a copy of this accelerator with a different name.
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+/// Builder for [`Accelerator`].
+///
+/// Levels are added innermost-first; the DRAM level is appended automatically
+/// by [`AcceleratorBuilder::build`] unless one was added explicitly.
+#[derive(Debug, Clone)]
+pub struct AcceleratorBuilder {
+    name: String,
+    pe_array: Option<PeArray>,
+    levels: Vec<MemoryLevel>,
+}
+
+impl AcceleratorBuilder {
+    /// Starts building an accelerator with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            pe_array: None,
+            levels: Vec::new(),
+        }
+    }
+
+    /// Sets the PE array from a spatial unrolling and per-MAC energy (pJ).
+    pub fn pe_array(mut self, unrolling: SpatialUnrolling, mac_energy_pj: f64) -> Self {
+        self.pe_array = Some(PeArray::new(unrolling, mac_energy_pj));
+        self
+    }
+
+    /// Adds a memory level (innermost levels first).
+    pub fn add_level(mut self, level: MemoryLevel) -> Self {
+        self.levels.push(level);
+        self
+    }
+
+    /// Finalizes the accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::MissingPeArray`] if no PE array was set, or a
+    /// hierarchy validation error (every operand must be served and the
+    /// outermost level must be DRAM — appended automatically when absent).
+    pub fn build(self) -> Result<Accelerator, ArchError> {
+        let pe_array = self.pe_array.ok_or(ArchError::MissingPeArray)?;
+        let mut levels = self.levels;
+        if levels.last().map(|l| !l.is_dram()).unwrap_or(true) {
+            levels.push(MemoryLevel::dram());
+        }
+        let hierarchy = MemoryHierarchy::new(levels)?;
+        Ok(Accelerator {
+            name: self.name,
+            pe_array,
+            hierarchy,
+        })
+    }
+}
+
+/// Convenience description of how much on-chip capacity each operand can use,
+/// useful for reporting (Table I(a)-style summaries).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperandCapacity {
+    /// Total on-chip bytes in levels serving weights.
+    pub weight_bytes: u64,
+    /// Total on-chip bytes in levels serving inputs.
+    pub input_bytes: u64,
+    /// Total on-chip bytes in levels serving outputs.
+    pub output_bytes: u64,
+}
+
+impl OperandCapacity {
+    /// Computes the per-operand on-chip capacity of an accelerator.
+    pub fn of(acc: &Accelerator) -> Self {
+        let sum = |op: Operand| -> u64 {
+            acc.hierarchy()
+                .levels_for(op)
+                .filter_map(|(_, l)| l.capacity_bytes())
+                .sum()
+        };
+        Self {
+            weight_bytes: sum(Operand::Weight),
+            input_bytes: sum(Operand::Input),
+            output_bytes: sum(Operand::Output),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defines_workload::Dim;
+
+    #[test]
+    fn builder_appends_dram() {
+        let acc = AcceleratorBuilder::new("a")
+            .pe_array(SpatialUnrolling::from_pairs([(Dim::K, 8)]), 0.5)
+            .add_level(MemoryLevel::sram("LB", 1024, Operand::ALL))
+            .build()
+            .unwrap();
+        assert!(acc.hierarchy().levels().last().unwrap().is_dram());
+        assert_eq!(acc.name(), "a");
+    }
+
+    #[test]
+    fn builder_requires_pe_array() {
+        let err = AcceleratorBuilder::new("a")
+            .add_level(MemoryLevel::sram("LB", 1024, Operand::ALL))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ArchError::MissingPeArray);
+    }
+
+    #[test]
+    fn builder_propagates_hierarchy_errors() {
+        // Only weights served on chip is fine (DRAM serves everything), but a
+        // hierarchy where DRAM is placed first then another level follows is not.
+        let err = AcceleratorBuilder::new("a")
+            .pe_array(SpatialUnrolling::from_pairs([(Dim::K, 8)]), 0.5)
+            .add_level(MemoryLevel::dram())
+            .add_level(MemoryLevel::sram("LB", 1024, Operand::ALL))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ArchError::Hierarchy(_)));
+    }
+
+    #[test]
+    fn operand_capacity_summary() {
+        let acc = AcceleratorBuilder::new("a")
+            .pe_array(SpatialUnrolling::from_pairs([(Dim::K, 8)]), 0.5)
+            .add_level(MemoryLevel::sram("LB_W", 64 * 1024, [Operand::Weight]))
+            .add_level(MemoryLevel::sram("LB_IO", 32 * 1024, [Operand::Input, Operand::Output]))
+            .build()
+            .unwrap();
+        let cap = OperandCapacity::of(&acc);
+        assert_eq!(cap.weight_bytes, 64 * 1024);
+        assert_eq!(cap.input_bytes, 32 * 1024);
+        assert_eq!(cap.output_bytes, 32 * 1024);
+    }
+
+    #[test]
+    fn renamed_keeps_structure() {
+        let acc = AcceleratorBuilder::new("a")
+            .pe_array(SpatialUnrolling::from_pairs([(Dim::K, 8)]), 0.5)
+            .add_level(MemoryLevel::sram("LB", 1024, Operand::ALL))
+            .build()
+            .unwrap();
+        let b = acc.clone().renamed("b");
+        assert_eq!(b.name(), "b");
+        assert_eq!(b.hierarchy(), acc.hierarchy());
+    }
+}

@@ -1,0 +1,55 @@
+//! The three memory operands of a convolution layer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A memory operand: weights, input activations or output activations.
+///
+/// ```
+/// use defines_arch::Operand;
+/// assert_eq!(Operand::ALL.len(), 3);
+/// assert_eq!(Operand::Weight.to_string(), "W");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Operand {
+    /// Layer weights.
+    Weight,
+    /// Input activations.
+    Input,
+    /// Output activations (including partial sums).
+    Output,
+}
+
+impl Operand {
+    /// All operands, in W / I / O order.
+    pub const ALL: [Operand; 3] = [Operand::Weight, Operand::Input, Operand::Output];
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Operand::Weight => "W",
+            Operand::Input => "I",
+            Operand::Output => "O",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_single_letter() {
+        assert_eq!(Operand::Weight.to_string(), "W");
+        assert_eq!(Operand::Input.to_string(), "I");
+        assert_eq!(Operand::Output.to_string(), "O");
+    }
+
+    #[test]
+    fn operands_are_ordered() {
+        assert!(Operand::Weight < Operand::Input);
+        assert!(Operand::Input < Operand::Output);
+    }
+}

@@ -1,0 +1,345 @@
+//! Accelerator zoo: the ten architectures of Table I(a) plus a DepFiN-like
+//! validation architecture.
+//!
+//! All case-study architectures are normalized as in the paper: 1024 MACs and
+//! at most 2 MB of global buffer, keeping each design's spatial unrolling and
+//! local-buffer structure. Every baseline has a manually constructed
+//! *DF-friendly* variant (same spatial unrolling, same total on-chip capacity,
+//! but inputs and outputs share a lower-level memory and weights get an
+//! on-chip global buffer).
+
+use crate::accelerator::{Accelerator, AcceleratorBuilder};
+use crate::energy::MAC_ENERGY_PJ;
+use crate::memory::MemoryLevel;
+use crate::operand::Operand::{self, Input, Output, Weight};
+use crate::pe_array::SpatialUnrolling;
+use defines_workload::Dim;
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+fn unroll(pairs: &[(Dim, u64)]) -> SpatialUnrolling {
+    SpatialUnrolling::from_pairs(pairs.iter().copied())
+}
+
+/// Idx 1 — Meta-prototype-like baseline: `K 32 | C 2 | OX 4 | OY 4`,
+/// per-operand local buffers (W 64 KB, I 32 KB), 2 MB of global buffer split
+/// between weights and activations.
+pub fn meta_proto_like() -> Accelerator {
+    AcceleratorBuilder::new("Meta-proto-like")
+        .pe_array(unroll(&[(Dim::K, 32), (Dim::C, 2), (Dim::OX, 4), (Dim::OY, 4)]), MAC_ENERGY_PJ)
+        .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
+        .add_level(MemoryLevel::register("O_reg", 2 * KB, [Output]))
+        .add_level(MemoryLevel::sram("LB_W", 64 * KB, [Weight]))
+        .add_level(MemoryLevel::sram("LB_I", 32 * KB, [Input]))
+        .add_level(MemoryLevel::sram("GB_W", 1 * MB, [Weight]))
+        .add_level(MemoryLevel::sram("GB_IO", 1 * MB, [Input, Output]))
+        .build()
+        .expect("zoo architecture is valid")
+}
+
+/// Idx 2 — Meta-prototype-like DF variant: inputs and outputs share a 64 KB
+/// local buffer, weights keep a 32 KB local buffer; global buffers unchanged.
+pub fn meta_proto_like_df() -> Accelerator {
+    AcceleratorBuilder::new("Meta-proto-like DF")
+        .pe_array(unroll(&[(Dim::K, 32), (Dim::C, 2), (Dim::OX, 4), (Dim::OY, 4)]), MAC_ENERGY_PJ)
+        .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
+        .add_level(MemoryLevel::register("O_reg", 2 * KB, [Output]))
+        .add_level(MemoryLevel::sram("LB_W", 32 * KB, [Weight]))
+        .add_level(MemoryLevel::sram("LB_IO", 64 * KB, [Input, Output]))
+        .add_level(MemoryLevel::sram("GB_W", 1 * MB, [Weight]))
+        .add_level(MemoryLevel::sram("GB_IO", 1 * MB, [Input, Output]))
+        .build()
+        .expect("zoo architecture is valid")
+}
+
+/// Idx 3 — TPU-like baseline: `K 32 | C 32` systolic array, weights stream
+/// from DRAM (no on-chip weight buffer), a 2 MB unified activation buffer.
+pub fn tpu_like() -> Accelerator {
+    AcceleratorBuilder::new("TPU-like")
+        .pe_array(unroll(&[(Dim::K, 32), (Dim::C, 32)]), MAC_ENERGY_PJ)
+        .add_level(MemoryLevel::register("W_reg", 4 * KB, [Weight]))
+        .add_level(MemoryLevel::register("O_reg", 32 * KB, [Output]))
+        .add_level(MemoryLevel::sram("GB_IO", 2 * MB, [Input, Output]))
+        .build()
+        .expect("zoo architecture is valid")
+}
+
+/// Idx 4 — TPU-like DF variant: a 64 KB shared I/O local buffer is carved out
+/// and half of the global buffer is reassigned to weights.
+pub fn tpu_like_df() -> Accelerator {
+    AcceleratorBuilder::new("TPU-like DF")
+        .pe_array(unroll(&[(Dim::K, 32), (Dim::C, 32)]), MAC_ENERGY_PJ)
+        .add_level(MemoryLevel::register("W_reg", 2 * KB, [Weight]))
+        .add_level(MemoryLevel::register("O_reg", 32 * KB, [Output]))
+        .add_level(MemoryLevel::sram("LB_IO", 64 * KB, [Input, Output]))
+        .add_level(MemoryLevel::sram("GB_W", 1 * MB, [Weight]))
+        .add_level(MemoryLevel::sram("GB_IO", 1 * MB, [Input, Output]))
+        .build()
+        .expect("zoo architecture is valid")
+}
+
+/// Idx 5 — Edge-TPU-like baseline: `K 8 | C 8 | OX 4 | OY 4`, 32 KB weight
+/// local buffer, 2 MB unified activation global buffer.
+pub fn edge_tpu_like() -> Accelerator {
+    AcceleratorBuilder::new("Edge-TPU-like")
+        .pe_array(unroll(&[(Dim::K, 8), (Dim::C, 8), (Dim::OX, 4), (Dim::OY, 4)]), MAC_ENERGY_PJ)
+        .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
+        .add_level(MemoryLevel::register("O_reg", 2 * KB, [Output]))
+        .add_level(MemoryLevel::sram("LB_W", 32 * KB, [Weight]))
+        .add_level(MemoryLevel::sram("GB_IO", 2 * MB, [Input, Output]))
+        .build()
+        .expect("zoo architecture is valid")
+}
+
+/// Idx 6 — Edge-TPU-like DF variant: the local buffer is split between weights
+/// (16 KB) and shared activations (16 KB); half the global buffer goes to
+/// weights.
+pub fn edge_tpu_like_df() -> Accelerator {
+    AcceleratorBuilder::new("Edge-TPU-like DF")
+        .pe_array(unroll(&[(Dim::K, 8), (Dim::C, 8), (Dim::OX, 4), (Dim::OY, 4)]), MAC_ENERGY_PJ)
+        .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
+        .add_level(MemoryLevel::register("O_reg", 2 * KB, [Output]))
+        .add_level(MemoryLevel::sram("LB_W", 16 * KB, [Weight]))
+        .add_level(MemoryLevel::sram("LB_IO", 16 * KB, [Input, Output]))
+        .add_level(MemoryLevel::sram("GB_W", 1 * MB, [Weight]))
+        .add_level(MemoryLevel::sram("GB_IO", 1 * MB, [Input, Output]))
+        .build()
+        .expect("zoo architecture is valid")
+}
+
+/// Idx 7 — Ascend-like baseline: `K 16 | C 16 | OX 2 | OY 2`, per-operand
+/// local buffers (W 64 KB, I 64 KB, O 256 KB) and a split global buffer.
+pub fn ascend_like() -> Accelerator {
+    AcceleratorBuilder::new("Ascend-like")
+        .pe_array(unroll(&[(Dim::K, 16), (Dim::C, 16), (Dim::OX, 2), (Dim::OY, 2)]), MAC_ENERGY_PJ)
+        .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
+        .add_level(MemoryLevel::register("O_reg", 2 * KB, [Output]))
+        .add_level(MemoryLevel::sram("LB_W", 64 * KB, [Weight]))
+        .add_level(MemoryLevel::sram("LB_I", 64 * KB, [Input]))
+        .add_level(MemoryLevel::sram("LB_O", 256 * KB, [Output]))
+        .add_level(MemoryLevel::sram("GB_W", 1 * MB, [Weight]))
+        .add_level(MemoryLevel::sram("GB_IO", 1 * MB, [Input, Output]))
+        .build()
+        .expect("zoo architecture is valid")
+}
+
+/// Idx 8 — Ascend-like DF variant: a shared 64 KB I/O local buffer backed by a
+/// 256 KB second-level shared activation buffer.
+pub fn ascend_like_df() -> Accelerator {
+    AcceleratorBuilder::new("Ascend-like DF")
+        .pe_array(unroll(&[(Dim::K, 16), (Dim::C, 16), (Dim::OX, 2), (Dim::OY, 2)]), MAC_ENERGY_PJ)
+        .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
+        .add_level(MemoryLevel::register("O_reg", 2 * KB, [Output]))
+        .add_level(MemoryLevel::sram("LB_W", 64 * KB, [Weight]))
+        .add_level(MemoryLevel::sram("LB_IO", 64 * KB, [Input, Output]))
+        .add_level(MemoryLevel::sram("LB2_IO", 256 * KB, [Input, Output]))
+        .add_level(MemoryLevel::sram("GB_W", 1 * MB, [Weight]))
+        .add_level(MemoryLevel::sram("GB_IO", 1 * MB, [Input, Output]))
+        .build()
+        .expect("zoo architecture is valid")
+}
+
+/// Idx 9 — Tesla-NPU-like baseline: `K 32 | OX 8 | OY 4`, tiny 1 KB weight and
+/// input local buffers, split global buffer.
+pub fn tesla_npu_like() -> Accelerator {
+    AcceleratorBuilder::new("Tesla-NPU-like")
+        .pe_array(unroll(&[(Dim::K, 32), (Dim::OX, 8), (Dim::OY, 4)]), MAC_ENERGY_PJ)
+        .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
+        .add_level(MemoryLevel::register("O_reg", 4 * KB, [Output]))
+        .add_level(MemoryLevel::sram("LB_W", 1 * KB, [Weight]))
+        .add_level(MemoryLevel::sram("LB_I", 1 * KB, [Input]))
+        .add_level(MemoryLevel::sram("GB_W", 1 * MB, [Weight]))
+        .add_level(MemoryLevel::sram("GB_IO", 1 * MB, [Input, Output]))
+        .build()
+        .expect("zoo architecture is valid")
+}
+
+/// Idx 10 — Tesla-NPU-like DF variant: adds a 64 KB / 64 KB second-level local
+/// buffer for weights and shared activations, shrinking the activation global
+/// buffer to 896 KB to keep the total on-chip capacity constant.
+pub fn tesla_npu_like_df() -> Accelerator {
+    AcceleratorBuilder::new("Tesla-NPU-like DF")
+        .pe_array(unroll(&[(Dim::K, 32), (Dim::OX, 8), (Dim::OY, 4)]), MAC_ENERGY_PJ)
+        .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
+        .add_level(MemoryLevel::register("O_reg", 4 * KB, [Output]))
+        .add_level(MemoryLevel::sram("LB_W", 1 * KB, [Weight]))
+        .add_level(MemoryLevel::sram("LB_I", 1 * KB, [Input]))
+        .add_level(MemoryLevel::sram("LB2_W", 64 * KB, [Weight]))
+        .add_level(MemoryLevel::sram("LB2_IO", 64 * KB, [Input, Output]))
+        .add_level(MemoryLevel::sram("GB_W", 1 * MB, [Weight]))
+        .add_level(MemoryLevel::sram("GB_IO", 896 * KB, [Input, Output]))
+        .build()
+        .expect("zoo architecture is valid")
+}
+
+/// A DepFiN-like depth-first CNN processor used for the validation experiment
+/// (Section IV): a line-buffer oriented design with a large shared activation
+/// local buffer and an on-chip weight buffer.
+pub fn depfin_like() -> Accelerator {
+    AcceleratorBuilder::new("DepFiN-like")
+        .pe_array(unroll(&[(Dim::K, 16), (Dim::C, 4), (Dim::OX, 16)]), MAC_ENERGY_PJ)
+        .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
+        .add_level(MemoryLevel::register("O_reg", 4 * KB, [Output]))
+        .add_level(MemoryLevel::sram("LB_W", 64 * KB, [Weight]))
+        .add_level(MemoryLevel::sram("LB_IO", 256 * KB, [Input, Output]))
+        .add_level(MemoryLevel::sram("GB_W", 512 * KB, [Weight]))
+        .add_level(MemoryLevel::sram("GB_IO", 1 * MB, [Input, Output]))
+        .build()
+        .expect("zoo architecture is valid")
+}
+
+/// The five baseline architectures, in Table I(a) order (indices 1, 3, 5, 7, 9).
+pub fn baseline_architectures() -> Vec<Accelerator> {
+    vec![
+        meta_proto_like(),
+        tpu_like(),
+        edge_tpu_like(),
+        ascend_like(),
+        tesla_npu_like(),
+    ]
+}
+
+/// The five DF-friendly variants, in Table I(a) order (indices 2, 4, 6, 8, 10).
+pub fn df_architectures() -> Vec<Accelerator> {
+    vec![
+        meta_proto_like_df(),
+        tpu_like_df(),
+        edge_tpu_like_df(),
+        ascend_like_df(),
+        tesla_npu_like_df(),
+    ]
+}
+
+/// All ten case-study architectures in Table I(a) index order
+/// (baseline, DF, baseline, DF, …).
+pub fn all_case_study_architectures() -> Vec<Accelerator> {
+    let mut v = Vec::with_capacity(10);
+    for (b, d) in baseline_architectures().into_iter().zip(df_architectures()) {
+        v.push(b);
+        v.push(d);
+    }
+    v
+}
+
+/// True when the accelerator has at least one on-chip memory level dedicated
+/// to or shared with weights (the TPU-like baseline does not, which is why it
+/// benefits so little from depth-first scheduling in case study 3).
+pub fn has_on_chip_weight_buffer(acc: &Accelerator) -> bool {
+    acc.hierarchy()
+        .levels_for(Operand::Weight)
+        .any(|(_, l)| !l.is_dram() && l.capacity_bytes().unwrap_or(0) >= 16 * KB)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_architectures_have_1024_macs() {
+        for acc in all_case_study_architectures() {
+            assert_eq!(acc.pe_array().total_macs(), 1024, "{}", acc.name());
+        }
+        assert_eq!(depfin_like().pe_array().total_macs(), 1024);
+    }
+
+    #[test]
+    fn global_buffers_capped_at_2mb() {
+        for acc in all_case_study_architectures() {
+            let gb_total: u64 = acc
+                .hierarchy()
+                .levels()
+                .iter()
+                .filter(|l| l.name().starts_with("GB"))
+                .filter_map(|l| l.capacity_bytes())
+                .sum();
+            assert!(gb_total <= 2 * MB, "{}: GB total {gb_total}", acc.name());
+        }
+    }
+
+    #[test]
+    fn zoo_has_ten_case_study_architectures() {
+        let all = all_case_study_architectures();
+        assert_eq!(all.len(), 10);
+        // Alternating baseline / DF naming.
+        for (i, acc) in all.iter().enumerate() {
+            if i % 2 == 1 {
+                assert!(acc.name().ends_with("DF"), "{}", acc.name());
+            } else {
+                assert!(!acc.name().ends_with("DF"), "{}", acc.name());
+            }
+        }
+    }
+
+    #[test]
+    fn df_variants_keep_total_on_chip_capacity() {
+        // Guideline 2 of the paper: total on-chip memory capacity is unchanged
+        // between a baseline and its DF variant (within the small rounding the
+        // paper itself applies, e.g. Tesla-NPU 1 MB -> 896 KB + 128 KB of LB2).
+        for (b, d) in baseline_architectures().into_iter().zip(df_architectures()) {
+            let cb = b.hierarchy().total_on_chip_bytes() as f64;
+            let cd = d.hierarchy().total_on_chip_bytes() as f64;
+            let ratio = cd / cb;
+            assert!(
+                (0.9..=1.1).contains(&ratio),
+                "{} vs {}: {cb} vs {cd}",
+                b.name(),
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn df_variants_share_io_in_a_local_buffer() {
+        for acc in df_architectures() {
+            let has_shared_io_lb = acc.hierarchy().levels().iter().any(|l| {
+                !l.is_dram()
+                    && l.serves(Input)
+                    && l.serves(Output)
+                    && l.capacity_bytes().unwrap_or(0) <= 256 * KB
+            });
+            assert!(has_shared_io_lb, "{} lacks a shared I/O local buffer", acc.name());
+        }
+    }
+
+    #[test]
+    fn tpu_like_has_no_weight_buffer_but_df_variant_does() {
+        assert!(!has_on_chip_weight_buffer(&tpu_like()));
+        assert!(has_on_chip_weight_buffer(&tpu_like_df()));
+        assert!(has_on_chip_weight_buffer(&meta_proto_like()));
+    }
+
+    #[test]
+    fn spatial_unrollings_match_table_1a() {
+        let meta = meta_proto_like();
+        assert_eq!(meta.pe_array().unrolling().factor(Dim::K), 32);
+        assert_eq!(meta.pe_array().unrolling().factor(Dim::C), 2);
+        assert_eq!(meta.pe_array().unrolling().factor(Dim::OX), 4);
+        let tpu = tpu_like();
+        assert_eq!(tpu.pe_array().unrolling().factor(Dim::C), 32);
+        let tesla = tesla_npu_like();
+        assert_eq!(tesla.pe_array().unrolling().factor(Dim::OX), 8);
+        assert_eq!(tesla.pe_array().unrolling().factor(Dim::C), 1);
+    }
+
+    #[test]
+    fn df_variant_keeps_spatial_unrolling() {
+        for (b, d) in baseline_architectures().into_iter().zip(df_architectures()) {
+            assert_eq!(
+                b.pe_array().unrolling(),
+                d.pe_array().unrolling(),
+                "{} vs {}",
+                b.name(),
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn depfin_is_df_friendly() {
+        let acc = depfin_like();
+        assert!(has_on_chip_weight_buffer(&acc));
+        let lb = acc.hierarchy().level_named("LB_IO").unwrap();
+        assert!(lb.serves(Input) && lb.serves(Output));
+    }
+}

@@ -1,0 +1,30 @@
+//! Criterion bench: a small design-space exploration (several tile sizes and
+//! all overlap modes), measuring the cost of a sweep with warm single-layer
+//! memoization — the common usage pattern of DeFiNES.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defines_bench::ExperimentContext;
+use defines_core::{Explorer, OverlapMode};
+
+fn bench_exploration(c: &mut Criterion) {
+    let ctx = ExperimentContext::case_study_1();
+    let net = ctx.fsrcnn();
+    let tiles = [(16, 18), (60, 72), (240, 270)];
+    let mut group = c.benchmark_group("exploration_sweep");
+    group.sample_size(10);
+    group.bench_function("fsrcnn_3_tiles_3_modes", |b| {
+        b.iter(|| {
+            let model = ctx.model();
+            let explorer = Explorer::new(&model);
+            explorer.sweep(&net, &tiles, &OverlapMode::ALL).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_exploration
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: runtime of the full depth-first cost model for one
+//! FSRCNN schedule per overlap mode — the Rust counterpart of the paper's
+//! Section-III footnote ("the (60, 72) case took 23 / 34 / 84 seconds in
+//! Python").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defines_bench::ExperimentContext;
+use defines_core::{DfStrategy, OverlapMode, TileSize};
+
+fn bench_model_runtime(c: &mut Criterion) {
+    let ctx = ExperimentContext::case_study_1();
+    let net = ctx.fsrcnn();
+    let mut group = c.benchmark_group("df_model_fsrcnn_60x72");
+    group.sample_size(10);
+    for mode in OverlapMode::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            b.iter(|| {
+                // A fresh model per iteration so the single-layer memoization
+                // cache does not carry over between measurements.
+                let model = ctx.model();
+                let strategy = DfStrategy::depth_first(TileSize::new(60, 72), mode);
+                model.evaluate_network(&net, &strategy).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_model_runtime
+}
+criterion_main!(benches);

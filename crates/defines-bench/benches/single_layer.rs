@@ -1,0 +1,43 @@
+//! Criterion bench: single-layer mapping search + cost model (the ZigZag/LOMA
+//! substrate), across layer shapes and accelerators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defines_arch::zoo;
+use defines_mapping::{LomaMapper, MapperConfig, SingleLayerProblem};
+use defines_workload::{Layer, LayerDims, OpType};
+
+fn bench_single_layer(c: &mut Criterion) {
+    let layers = [
+        ("fsrcnn_map_3x3", Layer::new("m", OpType::Conv, LayerDims::conv(12, 12, 60, 72, 3, 3))),
+        ("resnet_stage1_3x3", Layer::new("r", OpType::Conv, LayerDims::conv(64, 64, 56, 56, 3, 3))),
+        ("mobilenet_pw_1x1", Layer::new("p", OpType::Conv, LayerDims::conv(256, 128, 28, 28, 1, 1))),
+        (
+            "mobilenet_dw_3x3",
+            Layer::new("d", OpType::DepthwiseConv, LayerDims::conv(128, 128, 56, 56, 3, 3)),
+        ),
+    ];
+    let accelerators = [zoo::meta_proto_like_df(), zoo::tpu_like(), zoo::edge_tpu_like_df()];
+
+    let mut group = c.benchmark_group("single_layer_mapper");
+    for acc in &accelerators {
+        for (name, layer) in &layers {
+            let problem = SingleLayerProblem::new(acc, layer);
+            group.bench_with_input(
+                BenchmarkId::new(acc.name().replace(' ', "_"), name),
+                &problem,
+                |b, p| {
+                    let mapper = LomaMapper::new(MapperConfig::fast());
+                    b.iter(|| mapper.optimize(p));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_single_layer
+}
+criterion_main!(benches);

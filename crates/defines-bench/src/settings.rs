@@ -1,0 +1,127 @@
+//! Canonical experiment settings shared by the figure/table binaries.
+
+use defines_arch::{zoo, Accelerator};
+use defines_core::DfCostModel;
+use defines_mapping::MapperConfig;
+use defines_workload::{models, Network};
+
+/// The tile-size grid of Fig. 12: the paper sweeps 6 × 6 (Tx, Ty) points for
+/// FSRCNN's 960×540 output.
+pub fn fig12_tile_grid() -> Vec<(u64, u64)> {
+    let xs = [1u64, 4, 16, 60, 240, 960];
+    let ys = [1u64, 4, 18, 72, 270, 540];
+    let mut grid = Vec::with_capacity(36);
+    for &ty in &ys {
+        for &tx in &xs {
+            grid.push((tx, ty));
+        }
+    }
+    grid
+}
+
+/// The diagonal design points of Fig. 13–15.
+pub fn diagonal_tile_sizes() -> Vec<(u64, u64)> {
+    vec![(1, 1), (4, 4), (16, 18), (60, 72), (240, 270), (960, 540)]
+}
+
+/// A reduced tile grid used when sweeping many workload/architecture
+/// combinations (case studies 2 and 3): a handful of representative points
+/// per axis, derived from the workload's *largest* feature map so the grid is
+/// meaningful for every stack (classification networks end in 1×1 layers, but
+/// their early stacks are tiled over large feature maps).
+pub fn case_study_tile_grid(net: &Network) -> Vec<(u64, u64)> {
+    let (w, h) = net
+        .layers()
+        .iter()
+        .map(|l| (l.dims.ox, l.dims.oy))
+        .max_by_key(|&(x, y)| x * y)
+        .expect("non-empty network");
+    let fractions = [(16, 16), (8, 8), (8, 4), (4, 8), (4, 4), (2, 2), (1, 1)];
+    let mut grid: Vec<(u64, u64)> = fractions
+        .iter()
+        .map(|&(dx, dy)| ((w / dx).max(1), (h / dy).max(1)))
+        .collect();
+    grid.push((4.min(w), (h / 8).max(1)));
+    grid.push(((w / 8).max(1), 4.min(h)));
+    grid.sort_unstable();
+    grid.dedup();
+    grid
+}
+
+/// Everything an experiment binary needs: the accelerator, the workloads and a
+/// ready-to-use cost model factory.
+pub struct ExperimentContext {
+    /// The accelerator under study.
+    pub accelerator: Accelerator,
+    /// Whether to use the fast (reduced) mapper search.
+    pub fast_mapper: bool,
+}
+
+impl ExperimentContext {
+    /// Case-study-1 context: the Meta-prototype-like DF architecture.
+    pub fn case_study_1() -> Self {
+        Self {
+            accelerator: zoo::meta_proto_like_df(),
+            fast_mapper: true,
+        }
+    }
+
+    /// Context for an arbitrary accelerator.
+    pub fn for_accelerator(accelerator: Accelerator) -> Self {
+        Self {
+            accelerator,
+            fast_mapper: true,
+        }
+    }
+
+    /// Builds a cost model bound to this context's accelerator.
+    pub fn model(&self) -> DfCostModel<'_> {
+        let model = DfCostModel::new(&self.accelerator);
+        if self.fast_mapper {
+            model.with_mapper(MapperConfig::fast())
+        } else {
+            model
+        }
+    }
+
+    /// The FSRCNN workload used by case study 1.
+    pub fn fsrcnn(&self) -> Network {
+        models::fsrcnn()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_grid_is_6_by_6() {
+        let g = fig12_tile_grid();
+        assert_eq!(g.len(), 36);
+        assert!(g.contains(&(960, 540)));
+        assert!(g.contains(&(1, 1)));
+    }
+
+    #[test]
+    fn diagonal_matches_fig13() {
+        assert_eq!(diagonal_tile_sizes().len(), 6);
+    }
+
+    #[test]
+    fn case_study_grid_follows_largest_feature_map() {
+        let net = models::mobilenet_v1();
+        let g = case_study_tile_grid(&net);
+        // MobileNetV1's largest feature map is 112x112; the grid must offer
+        // meaningful tiles even though the network ends in 1x1 layers.
+        assert!(g.iter().all(|&(tx, ty)| tx <= 112 && ty <= 112));
+        assert!(g.iter().any(|&(tx, ty)| tx >= 28 && ty >= 28));
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn context_builds_model() {
+        let ctx = ExperimentContext::case_study_1();
+        let model = ctx.model();
+        assert_eq!(model.accelerator().name(), "Meta-proto-like DF");
+    }
+}

@@ -1,0 +1,168 @@
+//! Step 4 of the depth-first cost model: data copy actions and their cost.
+//!
+//! A *data copy action* moves a given number of bytes from one memory level to
+//! another — for instance collecting cached overlap data from the global
+//! buffer into the local buffer that was chosen as the input's top memory
+//! level, or pushing a freshly computed tile output into the overlap cache.
+//! The cost model accounts the read at the source, the write at the
+//! destination, and the cycles the transfers occupy on each memory port
+//! (concurrent copies that hit the same port serialize).
+
+use defines_arch::{Accelerator, MemoryLevelId, Operand};
+use defines_mapping::AccessBreakdown;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One data copy action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataCopyAction {
+    /// Number of bytes to move.
+    pub bytes: u64,
+    /// Source memory level.
+    pub from: MemoryLevelId,
+    /// Destination memory level.
+    pub to: MemoryLevelId,
+    /// The operand class the moved data belongs to (used for reporting).
+    pub operand: Operand,
+}
+
+impl DataCopyAction {
+    /// Creates a copy action. Actions with `from == to` or zero bytes are
+    /// meaningful no-ops; [`copy_cost`] skips them.
+    pub fn new(bytes: u64, from: MemoryLevelId, to: MemoryLevelId, operand: Operand) -> Self {
+        Self {
+            bytes,
+            from,
+            to,
+            operand,
+        }
+    }
+
+    /// Whether the action actually moves data.
+    pub fn is_noop(&self) -> bool {
+        self.bytes == 0 || self.from == self.to
+    }
+}
+
+/// The evaluated cost of a bundle of data copy actions.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DataCopyCost {
+    /// Total energy in pJ.
+    pub energy_pj: f64,
+    /// Cycles the copies occupy, assuming copies run in parallel but serialize
+    /// on shared memory ports.
+    pub latency_cycles: f64,
+    /// Per-level, per-operand traffic caused by the copies.
+    pub accesses: AccessBreakdown,
+}
+
+/// Evaluates the cost of a bundle of data copy actions that can conceptually
+/// run in parallel (step 4's "data copy action cost model").
+pub fn copy_cost(acc: &Accelerator, actions: &[DataCopyAction]) -> DataCopyCost {
+    let hierarchy = acc.hierarchy();
+    let mut energy = 0.0;
+    let mut accesses = AccessBreakdown::new();
+    // Bytes read / written per level, to model port contention.
+    let mut read_bytes: BTreeMap<MemoryLevelId, f64> = BTreeMap::new();
+    let mut write_bytes: BTreeMap<MemoryLevelId, f64> = BTreeMap::new();
+
+    for action in actions {
+        if action.is_noop() {
+            continue;
+        }
+        let bytes = action.bytes as f64;
+        let from = hierarchy.level(action.from);
+        let to = hierarchy.level(action.to);
+        energy += bytes * (from.read_energy_pj_per_byte() + to.write_energy_pj_per_byte());
+        accesses.add_reads(action.from, action.operand, bytes);
+        accesses.add_writes(action.to, action.operand, bytes);
+        *read_bytes.entry(action.from).or_default() += bytes;
+        *write_bytes.entry(action.to).or_default() += bytes;
+    }
+
+    let mut latency: f64 = 0.0;
+    for (level, bytes) in &read_bytes {
+        let bw = hierarchy.level(*level).read_bw_bytes_per_cycle();
+        if bw.is_finite() && bw > 0.0 {
+            latency = latency.max(bytes / bw);
+        }
+    }
+    for (level, bytes) in &write_bytes {
+        let bw = hierarchy.level(*level).write_bw_bytes_per_cycle();
+        if bw.is_finite() && bw > 0.0 {
+            latency = latency.max(bytes / bw);
+        }
+    }
+
+    DataCopyCost {
+        energy_pj: energy,
+        latency_cycles: latency,
+        accesses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defines_arch::zoo;
+
+    #[test]
+    fn noop_actions_cost_nothing() {
+        let acc = zoo::meta_proto_like_df();
+        let lb = acc.hierarchy().level_id_named("LB_IO").unwrap();
+        let cost = copy_cost(
+            &acc,
+            &[
+                DataCopyAction::new(0, lb, acc.hierarchy().dram_id(), Operand::Input),
+                DataCopyAction::new(1024, lb, lb, Operand::Input),
+            ],
+        );
+        assert_eq!(cost.energy_pj, 0.0);
+        assert_eq!(cost.latency_cycles, 0.0);
+    }
+
+    #[test]
+    fn copy_energy_is_read_plus_write() {
+        let acc = zoo::meta_proto_like_df();
+        let h = acc.hierarchy();
+        let gb = h.level_id_named("GB_IO").unwrap();
+        let lb = h.level_id_named("LB_IO").unwrap();
+        let cost = copy_cost(&acc, &[DataCopyAction::new(1000, gb, lb, Operand::Input)]);
+        let expected = 1000.0
+            * (h.level(gb).read_energy_pj_per_byte() + h.level(lb).write_energy_pj_per_byte());
+        assert!((cost.energy_pj - expected).abs() < 1e-9);
+        assert!(cost.latency_cycles > 0.0);
+        assert_eq!(cost.accesses.get(gb, Operand::Input).reads_bytes, 1000.0);
+        assert_eq!(cost.accesses.get(lb, Operand::Input).writes_bytes, 1000.0);
+    }
+
+    #[test]
+    fn parallel_copies_serialize_on_shared_ports() {
+        let acc = zoo::meta_proto_like_df();
+        let h = acc.hierarchy();
+        let gb = h.level_id_named("GB_IO").unwrap();
+        let lb = h.level_id_named("LB_IO").unwrap();
+        let dram = h.dram_id();
+        // Two copies read from the GB: they contend for the GB read port.
+        let two = copy_cost(
+            &acc,
+            &[
+                DataCopyAction::new(4096, gb, lb, Operand::Input),
+                DataCopyAction::new(4096, gb, dram, Operand::Output),
+            ],
+        );
+        let one = copy_cost(&acc, &[DataCopyAction::new(4096, gb, lb, Operand::Input)]);
+        assert!(two.latency_cycles >= 2.0 * one.latency_cycles - 1e-9);
+    }
+
+    #[test]
+    fn dram_bandwidth_dominates_latency() {
+        let acc = zoo::meta_proto_like_df();
+        let h = acc.hierarchy();
+        let lb = h.level_id_named("LB_IO").unwrap();
+        let dram = h.dram_id();
+        let cost = copy_cost(&acc, &[DataCopyAction::new(8000, dram, lb, Operand::Input)]);
+        // DRAM provides 8 B/cycle, so 8000 bytes take 1000 cycles.
+        assert!((cost.latency_cycles - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,354 @@
+//! Design-space exploration: sweeps over tile sizes and overlap modes, best
+//! single strategy, and per-stack best combinations.
+
+use crate::evaluate::{DfCostModel, EvaluationError};
+use crate::result::{NetworkCost, StackCost};
+use crate::stack::{partition_into_stacks, FuseDepth};
+use crate::strategy::{DfStrategy, OverlapMode, TileSize};
+use defines_arch::Accelerator;
+use defines_workload::Network;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What the exploration should minimize. Users of DeFiNES can pick their own
+/// optimization target (Section V-A); these are the targets used throughout
+/// the paper's case studies and SotA comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OptimizeTarget {
+    /// Total energy (the default for the case studies).
+    #[default]
+    Energy,
+    /// Total latency.
+    Latency,
+    /// Energy-delay product.
+    Edp,
+    /// DRAM traffic only (the target of several SotA frameworks, Fig. 18(a)).
+    DramAccess,
+    /// Memory energy caused by activations only, ignoring weight traffic
+    /// (Fig. 18(c)).
+    ActivationEnergy,
+}
+
+impl OptimizeTarget {
+    /// The scalar value of this target for a network cost.
+    pub fn value(&self, cost: &NetworkCost, acc: &Accelerator) -> f64 {
+        match self {
+            OptimizeTarget::Energy => cost.energy_pj,
+            OptimizeTarget::Latency => cost.latency_cycles,
+            OptimizeTarget::Edp => cost.edp(),
+            OptimizeTarget::DramAccess => cost.dram_traffic_bytes(acc),
+            OptimizeTarget::ActivationEnergy => cost.activation_energy_pj(),
+        }
+    }
+
+    /// The scalar value of this target for a single stack cost.
+    pub fn stack_value(&self, cost: &StackCost, acc: &Accelerator) -> f64 {
+        match self {
+            OptimizeTarget::Energy => cost.energy_pj,
+            OptimizeTarget::Latency => cost.latency_cycles,
+            OptimizeTarget::Edp => cost.energy_pj * cost.latency_cycles,
+            OptimizeTarget::DramAccess => {
+                let dram = acc.hierarchy().dram_id();
+                cost.activation_access.level_total(dram).total_bytes()
+                    + cost.weight_access.level_total(dram).total_bytes()
+                    + cost.copy_access.level_total(dram).total_bytes()
+            }
+            OptimizeTarget::ActivationEnergy => cost.energy_summary.activation_memory_pj,
+        }
+    }
+}
+
+impl fmt::Display for OptimizeTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OptimizeTarget::Energy => "energy",
+            OptimizeTarget::Latency => "latency",
+            OptimizeTarget::Edp => "EDP",
+            OptimizeTarget::DramAccess => "DRAM access",
+            OptimizeTarget::ActivationEnergy => "activation energy",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplorationResult {
+    /// The strategy evaluated.
+    pub strategy: DfStrategy,
+    /// Its cost.
+    pub cost: NetworkCost,
+}
+
+/// The result of a per-stack ("best combination") exploration: each stack may
+/// use a different depth-first strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CombinationResult {
+    /// The chosen (tile size, overlap mode) per stack, in stack order.
+    pub per_stack: Vec<(TileSize, OverlapMode)>,
+    /// The combined network cost.
+    pub cost: NetworkCost,
+}
+
+/// Design-space explorer over depth-first strategies for one network and one
+/// accelerator.
+#[derive(Debug)]
+pub struct Explorer<'a> {
+    model: &'a DfCostModel<'a>,
+}
+
+impl<'a> Explorer<'a> {
+    /// Creates an explorer driving the given cost model.
+    pub fn new(model: &'a DfCostModel<'a>) -> Self {
+        Self { model }
+    }
+
+    /// The default tile-size grid used by case study 1 (Fig. 12): powers of
+    /// roughly 4 along each axis, capped at the feature-map size.
+    pub fn default_tile_grid(net: &Network) -> Vec<(u64, u64)> {
+        let last = net.layers().last().expect("non-empty network");
+        let (w, h) = (last.dims.ox, last.dims.oy);
+        let xs = axis_points(w);
+        let ys = axis_points(h);
+        let mut grid = Vec::new();
+        for &ty in &ys {
+            for &tx in &xs {
+                grid.push((tx, ty));
+            }
+        }
+        grid
+    }
+
+    /// Evaluates every (tile size × overlap mode) combination.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors (empty network, invalid stacks).
+    pub fn sweep(
+        &self,
+        net: &Network,
+        tile_sizes: &[(u64, u64)],
+        modes: &[OverlapMode],
+    ) -> Result<Vec<ExplorationResult>, EvaluationError> {
+        let mut out = Vec::with_capacity(tile_sizes.len() * modes.len());
+        for &mode in modes {
+            for &(tx, ty) in tile_sizes {
+                let strategy = DfStrategy::depth_first(TileSize::new(tx, ty), mode);
+                let cost = self.model.evaluate_network(net, &strategy)?;
+                out.push(ExplorationResult { strategy, cost });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Finds the best single strategy over a sweep, according to the target.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn best_single_strategy(
+        &self,
+        net: &Network,
+        tile_sizes: &[(u64, u64)],
+        modes: &[OverlapMode],
+        target: OptimizeTarget,
+    ) -> Result<ExplorationResult, EvaluationError> {
+        let acc = self.model.accelerator();
+        let results = self.sweep(net, tile_sizes, modes)?;
+        Ok(results
+            .into_iter()
+            .min_by(|a, b| {
+                target
+                    .value(&a.cost, acc)
+                    .total_cmp(&target.value(&b.cost, acc))
+            })
+            .expect("sweep always evaluates at least one point"))
+    }
+
+    /// Finds the best *combination*: the fused-layer stacks are fixed (by the
+    /// automatic fuse-depth heuristic) but each stack independently picks the
+    /// (tile size, overlap mode) that minimizes the target — including the
+    /// full-feature-map tile, i.e. falling back to layer-by-layer processing
+    /// for weight-dominant stacks (case study 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaluationError::EmptyNetwork`] for an empty workload.
+    pub fn best_combination(
+        &self,
+        net: &Network,
+        tile_sizes: &[(u64, u64)],
+        modes: &[OverlapMode],
+        target: OptimizeTarget,
+    ) -> Result<CombinationResult, EvaluationError> {
+        if net.is_empty() {
+            return Err(EvaluationError::EmptyNetwork);
+        }
+        let acc = self.model.accelerator();
+        let stacks = partition_into_stacks(net, acc, &FuseDepth::Auto);
+        let dram = acc.hierarchy().dram_id();
+        let mut per_stack = Vec::with_capacity(stacks.len());
+        let mut stack_costs = Vec::with_capacity(stacks.len());
+        for stack in &stacks {
+            let mut best: Option<(TileSize, OverlapMode, StackCost)> = None;
+            let mut candidates: Vec<TileSize> = tile_sizes
+                .iter()
+                .map(|&(tx, ty)| TileSize::new(tx, ty))
+                .collect();
+            candidates.push(TileSize::full());
+            for &tile in &candidates {
+                for &mode in modes {
+                    let cost = self.model.evaluate_stack(net, stack, tile, mode, dram, dram);
+                    let better = match &best {
+                        None => true,
+                        Some((_, _, b)) => {
+                            target.stack_value(&cost, acc) < target.stack_value(b, acc)
+                        }
+                    };
+                    if better {
+                        best = Some((tile, mode, cost));
+                    }
+                }
+            }
+            let (tile, mode, cost) = best.expect("at least one candidate evaluated");
+            per_stack.push((tile, mode));
+            stack_costs.push(cost);
+        }
+        Ok(CombinationResult {
+            per_stack,
+            cost: NetworkCost::from_stacks(stack_costs),
+        })
+    }
+
+    /// Evaluates the canonical single-layer and layer-by-layer baselines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn baselines(&self, net: &Network) -> Result<(NetworkCost, NetworkCost), EvaluationError> {
+        let sl = self.model.evaluate_network(net, &DfStrategy::single_layer())?;
+        let lbl = self.model.evaluate_network(net, &DfStrategy::layer_by_layer())?;
+        Ok((sl, lbl))
+    }
+}
+
+/// The tile-size sampling points along one axis used by the default grid:
+/// 1, 4, then roughly quarter / half / full of the feature-map extent.
+fn axis_points(extent: u64) -> Vec<u64> {
+    let mut points = vec![1u64, 4];
+    for divisor in [16, 8, 2, 1] {
+        let p = (extent / divisor).max(1);
+        points.push(p);
+    }
+    points.sort_unstable();
+    points.dedup();
+    points.retain(|&p| p <= extent);
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defines_arch::zoo;
+    use defines_workload::{Layer, LayerDims, OpType};
+
+    fn tiny_net() -> Network {
+        let mut net = Network::new("tiny");
+        let a = net
+            .add_layer(
+                Layer::new("a", OpType::Conv, LayerDims::conv(8, 3, 48, 48, 3, 3)),
+                &[],
+            )
+            .unwrap();
+        let _ = net
+            .add_layer(
+                Layer::new("b", OpType::Conv, LayerDims::conv(8, 8, 46, 46, 3, 3)),
+                &[a],
+            )
+            .unwrap();
+        net
+    }
+
+    #[test]
+    fn axis_points_are_sorted_unique_and_bounded() {
+        let p = axis_points(960);
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+        assert!(p.iter().all(|&x| x <= 960));
+        assert!(p.contains(&1) && p.contains(&960));
+        assert_eq!(axis_points(3), vec![1, 3]);
+    }
+
+    #[test]
+    fn sweep_covers_all_points() {
+        let acc = zoo::meta_proto_like_df();
+        let model = DfCostModel::new(&acc).with_fast_mapper();
+        let explorer = Explorer::new(&model);
+        let net = tiny_net();
+        let results = explorer
+            .sweep(&net, &[(8, 8), (16, 16)], &OverlapMode::ALL)
+            .unwrap();
+        assert_eq!(results.len(), 6);
+        assert!(results.iter().all(|r| r.cost.energy_pj > 0.0));
+    }
+
+    #[test]
+    fn best_single_strategy_minimizes_target() {
+        let acc = zoo::meta_proto_like_df();
+        let model = DfCostModel::new(&acc).with_fast_mapper();
+        let explorer = Explorer::new(&model);
+        let net = tiny_net();
+        let tiles = [(8, 8), (16, 16), (46, 46)];
+        let best = explorer
+            .best_single_strategy(&net, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)
+            .unwrap();
+        let all = explorer.sweep(&net, &tiles, &OverlapMode::ALL).unwrap();
+        for r in &all {
+            assert!(best.cost.energy_pj <= r.cost.energy_pj + 1e-6);
+        }
+    }
+
+    #[test]
+    fn latency_and_energy_targets_can_differ() {
+        let acc = zoo::meta_proto_like_df();
+        let model = DfCostModel::new(&acc).with_fast_mapper();
+        let explorer = Explorer::new(&model);
+        let net = tiny_net();
+        let tiles = [(8, 8), (46, 46)];
+        let e = explorer
+            .best_single_strategy(&net, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)
+            .unwrap();
+        let l = explorer
+            .best_single_strategy(&net, &tiles, &OverlapMode::ALL, OptimizeTarget::Latency)
+            .unwrap();
+        assert!(l.cost.latency_cycles <= e.cost.latency_cycles + 1e-6);
+        assert!(e.cost.energy_pj <= l.cost.energy_pj + 1e-6);
+    }
+
+    #[test]
+    fn best_combination_is_not_worse_than_best_single() {
+        let acc = zoo::meta_proto_like_df();
+        let model = DfCostModel::new(&acc).with_fast_mapper();
+        let explorer = Explorer::new(&model);
+        let net = tiny_net();
+        let tiles = [(8, 8), (16, 16)];
+        let single = explorer
+            .best_single_strategy(&net, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)
+            .unwrap();
+        let combo = explorer
+            .best_combination(&net, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)
+            .unwrap();
+        // The combination search has at least the single strategies available
+        // per stack, so it can only match or improve.
+        assert!(combo.cost.energy_pj <= single.cost.energy_pj * 1.01);
+        assert_eq!(combo.per_stack.len(), combo.cost.stacks.len());
+    }
+
+    #[test]
+    fn default_tile_grid_is_6_by_6_for_fsrcnn_like_outputs() {
+        let net = defines_workload::models::fsrcnn();
+        let grid = Explorer::default_tile_grid(&net);
+        assert_eq!(grid.len(), 36);
+        assert!(grid.contains(&(960, 540)));
+        assert!(grid.contains(&(1, 1)));
+    }
+}

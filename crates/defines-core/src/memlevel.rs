@@ -1,0 +1,345 @@
+//! Step 3 of the depth-first cost model: determining the top memory level for
+//! every kind of data handled by a layer-tile combination.
+//!
+//! Data is placed by priority (Fig. 5, step 3): weights, then the current
+//! layer's inputs, then its outputs, then the horizontal-overlap cache, then
+//! the vertical-overlap cache. Higher-priority data is assigned to lower,
+//! cheaper memory levels; each placement reserves capacity that is no longer
+//! available to lower-priority data.
+
+use defines_arch::{Accelerator, MemoryLevelId, Operand};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The memory levels assigned to all data classes of one layer-tile
+/// combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataPlacement {
+    /// Top level for the layer's weights.
+    pub weight: MemoryLevelId,
+    /// Top level for the layer's input activations.
+    pub input: MemoryLevelId,
+    /// Top level for the layer's output activations.
+    pub output: MemoryLevelId,
+    /// Level holding the horizontal-overlap cache (if any is needed).
+    pub cache_h: Option<MemoryLevelId>,
+    /// Level holding the vertical-overlap cache (if any is needed).
+    pub cache_v: Option<MemoryLevelId>,
+}
+
+/// The data sizes that drive a placement decision for one layer-tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PlacementRequest {
+    /// Total weight bytes of the whole fused stack (weights stay resident for
+    /// all tiles of the stack).
+    pub stack_weight_bytes: u64,
+    /// Whether the layer has weights at all.
+    pub layer_has_weights: bool,
+    /// Whether this is the first tile of the stack (weights still have to be
+    /// fetched from DRAM).
+    pub is_first_tile: bool,
+    /// Input bytes of the current layer-tile.
+    pub input_bytes: u64,
+    /// Output bytes of the current layer-tile.
+    pub output_bytes: u64,
+    /// Horizontal-overlap cache bytes kept alive for the stack.
+    pub cache_h_bytes: u64,
+    /// Vertical-overlap cache bytes kept alive for the stack.
+    pub cache_v_bytes: u64,
+}
+
+/// Placement policy knobs. The defaults model DeFiNES; turning off
+/// `multi_level_skipping` reproduces the "DRAM-only skipping" baseline of
+/// Fig. 18(b), where activations may skip DRAM but always live in the highest
+/// on-chip memory rather than the lowest one they fit in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementPolicy {
+    /// When true (DeFiNES), data is placed in the *lowest* level it fits in.
+    /// When false, on-chip data is placed in the *highest* on-chip level.
+    pub multi_level_skipping: bool,
+}
+
+impl Default for PlacementPolicy {
+    fn default() -> Self {
+        Self {
+            multi_level_skipping: true,
+        }
+    }
+}
+
+/// Remaining capacity tracker over the memory hierarchy.
+#[derive(Debug, Clone)]
+struct CapacityTracker<'a> {
+    acc: &'a Accelerator,
+    remaining: BTreeMap<MemoryLevelId, u64>,
+}
+
+impl<'a> CapacityTracker<'a> {
+    fn new(acc: &'a Accelerator) -> Self {
+        let remaining = acc
+            .hierarchy()
+            .levels()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (MemoryLevelId(i), l.capacity_bytes().unwrap_or(u64::MAX)))
+            .collect();
+        Self { acc, remaining }
+    }
+
+    /// The lowest level serving `operand` whose remaining capacity can hold
+    /// `bytes`, reserving the space. Falls back to DRAM.
+    fn place_lowest(&mut self, operand: Operand, bytes: u64) -> MemoryLevelId {
+        let dram = self.acc.hierarchy().dram_id();
+        let candidates: Vec<MemoryLevelId> = self
+            .acc
+            .hierarchy()
+            .levels_for(operand)
+            .map(|(id, _)| id)
+            .collect();
+        for id in candidates {
+            if self.remaining[&id] >= bytes {
+                self.reserve(id, bytes);
+                return id;
+            }
+        }
+        dram
+    }
+
+    /// The highest on-chip level serving `operand` that can hold `bytes`
+    /// (DRAM-only-skipping baseline), or DRAM when nothing fits.
+    fn place_highest_on_chip(&mut self, operand: Operand, bytes: u64) -> MemoryLevelId {
+        let dram = self.acc.hierarchy().dram_id();
+        let candidate = self
+            .acc
+            .hierarchy()
+            .levels_for(operand)
+            .filter(|(id, l)| !l.is_dram() && self.remaining[id] >= bytes)
+            .map(|(id, _)| id)
+            .last();
+        match candidate {
+            Some(id) => {
+                self.reserve(id, bytes);
+                id
+            }
+            None => dram,
+        }
+    }
+
+    fn reserve(&mut self, id: MemoryLevelId, bytes: u64) {
+        if let Some(r) = self.remaining.get_mut(&id) {
+            *r = r.saturating_sub(bytes);
+        }
+    }
+}
+
+/// Determines the top memory level for every data class of one layer-tile
+/// combination (step 3 of the model).
+pub fn determine_placement(
+    acc: &Accelerator,
+    request: &PlacementRequest,
+    policy: &PlacementPolicy,
+) -> DataPlacement {
+    let dram = acc.hierarchy().dram_id();
+    let mut tracker = CapacityTracker::new(acc);
+
+    // 1. Weights (highest priority). The stack's full weight set stays
+    //    resident across tiles; the first tile still has to stream it from
+    //    DRAM.
+    let weight_home = if request.stack_weight_bytes > 0 {
+        tracker.place_lowest(Operand::Weight, request.stack_weight_bytes)
+    } else {
+        dram
+    };
+    let weight = if !request.layer_has_weights {
+        dram
+    } else if request.is_first_tile {
+        dram
+    } else {
+        weight_home
+    };
+
+    // 2. Current layer's inputs.
+    let input = if policy.multi_level_skipping {
+        tracker.place_lowest(Operand::Input, request.input_bytes)
+    } else {
+        tracker.place_highest_on_chip(Operand::Input, request.input_bytes)
+    };
+
+    // 3. Current layer's outputs.
+    let output = if policy.multi_level_skipping {
+        tracker.place_lowest(Operand::Output, request.output_bytes)
+    } else {
+        tracker.place_highest_on_chip(Operand::Output, request.output_bytes)
+    };
+
+    // 4./5. Overlap caches (activation data).
+    let cache_h = if request.cache_h_bytes > 0 {
+        Some(tracker.place_lowest(Operand::Input, request.cache_h_bytes))
+    } else {
+        None
+    };
+    let cache_v = if request.cache_v_bytes > 0 {
+        Some(tracker.place_lowest(Operand::Input, request.cache_v_bytes))
+    } else {
+        None
+    };
+
+    DataPlacement {
+        weight,
+        input,
+        output,
+        cache_h,
+        cache_v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defines_arch::zoo;
+
+    fn meta_df() -> defines_arch::Accelerator {
+        zoo::meta_proto_like_df()
+    }
+
+    fn lb_io(acc: &defines_arch::Accelerator) -> MemoryLevelId {
+        acc.hierarchy().level_id_named("LB_IO").unwrap()
+    }
+
+    fn gb_io(acc: &defines_arch::Accelerator) -> MemoryLevelId {
+        acc.hierarchy().level_id_named("GB_IO").unwrap()
+    }
+
+    #[test]
+    fn small_activations_land_in_lb() {
+        let acc = meta_df();
+        let req = PlacementRequest {
+            stack_weight_bytes: 12 * 1024,
+            layer_has_weights: true,
+            is_first_tile: false,
+            input_bytes: 8 * 1024,
+            output_bytes: 16 * 1024,
+            ..Default::default()
+        };
+        let p = determine_placement(&acc, &req, &PlacementPolicy::default());
+        assert_eq!(p.input, lb_io(&acc));
+        assert_eq!(p.output, lb_io(&acc));
+        // Non-first tile: weights served from the weight LB.
+        assert_eq!(acc.hierarchy().level(p.weight).name(), "LB_W");
+    }
+
+    #[test]
+    fn first_tile_weights_come_from_dram() {
+        let acc = meta_df();
+        let req = PlacementRequest {
+            stack_weight_bytes: 12 * 1024,
+            layer_has_weights: true,
+            is_first_tile: true,
+            input_bytes: 1024,
+            output_bytes: 1024,
+            ..Default::default()
+        };
+        let p = determine_placement(&acc, &req, &PlacementPolicy::default());
+        assert!(acc.hierarchy().level(p.weight).is_dram());
+    }
+
+    #[test]
+    fn input_prioritized_over_output_when_lb_is_tight() {
+        // Fig. 10: when I+O no longer fit the LB but I alone does, I keeps the
+        // LB and O is pushed to the GB.
+        let acc = meta_df();
+        let req = PlacementRequest {
+            stack_weight_bytes: 12 * 1024,
+            layer_has_weights: true,
+            is_first_tile: false,
+            input_bytes: 40 * 1024,
+            output_bytes: 40 * 1024,
+            ..Default::default()
+        };
+        let p = determine_placement(&acc, &req, &PlacementPolicy::default());
+        assert_eq!(p.input, lb_io(&acc));
+        assert_eq!(p.output, gb_io(&acc));
+    }
+
+    #[test]
+    fn huge_activations_fall_back_to_dram() {
+        let acc = meta_df();
+        let req = PlacementRequest {
+            input_bytes: 30 * 1024 * 1024,
+            output_bytes: 30 * 1024 * 1024,
+            ..Default::default()
+        };
+        let p = determine_placement(&acc, &req, &PlacementPolicy::default());
+        assert!(acc.hierarchy().level(p.input).is_dram());
+        assert!(acc.hierarchy().level(p.output).is_dram());
+    }
+
+    #[test]
+    fn caches_are_placed_after_activations() {
+        let acc = meta_df();
+        let req = PlacementRequest {
+            stack_weight_bytes: 12 * 1024,
+            layer_has_weights: true,
+            is_first_tile: false,
+            input_bytes: 30 * 1024,
+            output_bytes: 30 * 1024,
+            cache_h_bytes: 20 * 1024,
+            cache_v_bytes: 3 * 1024 * 1024,
+            ..Default::default()
+        };
+        let p = determine_placement(&acc, &req, &PlacementPolicy::default());
+        // I and O fill the 64 KB LB, so the H cache is pushed to the GB and
+        // the oversized V cache to DRAM.
+        assert_eq!(p.cache_h, Some(gb_io(&acc)));
+        assert_eq!(p.cache_v, Some(acc.hierarchy().dram_id()));
+        assert_eq!(p.input, lb_io(&acc));
+    }
+
+    #[test]
+    fn disabling_multi_level_skipping_uses_highest_on_chip_level() {
+        let acc = meta_df();
+        let req = PlacementRequest {
+            input_bytes: 8 * 1024,
+            output_bytes: 8 * 1024,
+            ..Default::default()
+        };
+        let policy = PlacementPolicy {
+            multi_level_skipping: false,
+        };
+        let p = determine_placement(&acc, &req, &policy);
+        // Even though the data would fit the LB, it is kept in the GB.
+        assert_eq!(p.input, gb_io(&acc));
+        assert_eq!(p.output, gb_io(&acc));
+    }
+
+    #[test]
+    fn weightless_layers_do_not_reserve_weight_space() {
+        let acc = meta_df();
+        let req = PlacementRequest {
+            stack_weight_bytes: 0,
+            layer_has_weights: false,
+            input_bytes: 1024,
+            output_bytes: 1024,
+            ..Default::default()
+        };
+        let p = determine_placement(&acc, &req, &PlacementPolicy::default());
+        assert!(acc.hierarchy().level(p.weight).is_dram());
+        assert_eq!(p.cache_h, None);
+        assert_eq!(p.cache_v, None);
+    }
+
+    #[test]
+    fn tpu_like_weights_always_stream_from_dram() {
+        let acc = zoo::tpu_like();
+        let req = PlacementRequest {
+            stack_weight_bytes: 500 * 1024,
+            layer_has_weights: true,
+            is_first_tile: false,
+            input_bytes: 10 * 1024,
+            output_bytes: 10 * 1024,
+            ..Default::default()
+        };
+        let p = determine_placement(&acc, &req, &PlacementPolicy::default());
+        assert!(acc.hierarchy().level(p.weight).is_dram());
+    }
+}

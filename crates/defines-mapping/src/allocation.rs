@@ -1,0 +1,219 @@
+//! Greedy bottom-up allocation of temporal loops to memory levels, per
+//! operand (the "memory allocation" half of LOMA).
+
+use crate::problem::SingleLayerProblem;
+use crate::temporal::TemporalMapping;
+use defines_arch::{MemoryLevelId, Operand};
+use defines_workload::{Dim, OpType};
+use serde::{Deserialize, Serialize};
+
+/// The allocation of one operand's loops to its memory levels.
+///
+/// `levels[i] = (level, boundary)` means memory level `level` keeps the data
+/// addressed by temporal loops `[0, boundary)` resident. Boundaries are
+/// non-decreasing and the last entry is the operand's top level with a
+/// boundary covering every loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperandAllocation {
+    /// `(memory level, number of innermost loops resident in it)`, ordered
+    /// innermost level first.
+    pub levels: Vec<(MemoryLevelId, usize)>,
+}
+
+impl OperandAllocation {
+    /// The innermost memory level serving the operand.
+    pub fn innermost(&self) -> MemoryLevelId {
+        self.levels.first().expect("allocation has at least the top level").0
+    }
+
+    /// The top (outermost allowed) memory level.
+    pub fn top(&self) -> MemoryLevelId {
+        self.levels.last().expect("allocation has at least the top level").0
+    }
+}
+
+/// The data footprint, in bytes, of `operand` restricted to the temporal loops
+/// below `boundary` (plus the spatially unrolled portion of each dimension,
+/// which is by definition inner to every temporal loop).
+///
+/// For inputs, the OX/FX and OY/FY pairs combine through the sliding-window
+/// relation `ix = (ox - 1) * stride + fx`.
+pub fn data_size_bytes(
+    problem: &SingleLayerProblem<'_>,
+    mapping: &TemporalMapping,
+    operand: Operand,
+    boundary: usize,
+) -> f64 {
+    let unroll = problem.accelerator.pe_array().unrolling();
+    let eff = |dim: Dim| -> u64 { unroll.factor(dim) * mapping.below_product(dim, boundary) };
+    let bytes = problem.bytes_per_element(operand) as f64;
+    let elements: f64 = match operand {
+        Operand::Weight => match problem.op {
+            OpType::Conv => (eff(Dim::K) * eff(Dim::C) * eff(Dim::FX) * eff(Dim::FY)) as f64,
+            OpType::DepthwiseConv => (eff(Dim::K) * eff(Dim::FX) * eff(Dim::FY)) as f64,
+            OpType::Pooling | OpType::Add => 0.0,
+        },
+        Operand::Input => {
+            let channels = match problem.op {
+                OpType::Conv => eff(Dim::C),
+                OpType::DepthwiseConv | OpType::Pooling => eff(Dim::K),
+                OpType::Add => 2 * eff(Dim::K),
+            };
+            let ix = (eff(Dim::OX).saturating_sub(1)) * problem.dims.stride_x + eff(Dim::FX);
+            let iy = (eff(Dim::OY).saturating_sub(1)) * problem.dims.stride_y + eff(Dim::FY);
+            (eff(Dim::B) * channels * ix * iy) as f64
+        }
+        Operand::Output => (eff(Dim::B) * eff(Dim::K) * eff(Dim::OX) * eff(Dim::OY)) as f64,
+    };
+    elements * bytes
+}
+
+/// The memory levels an operand may use for this problem: every level that
+/// serves the operand, up to and including the operand's top level.
+pub fn usable_levels(problem: &SingleLayerProblem<'_>, operand: Operand) -> Vec<MemoryLevelId> {
+    let top = problem.top_levels.level(operand);
+    let mut levels: Vec<MemoryLevelId> = problem
+        .accelerator
+        .hierarchy()
+        .levels_for(operand)
+        .map(|(id, _)| id)
+        .filter(|&id| id <= top)
+        .collect();
+    if levels.last() != Some(&top) {
+        // The DF model may pin an operand to a level that nominally serves
+        // other operands only in the architecture description; honour it.
+        levels.push(top);
+    }
+    levels
+}
+
+/// How many operands of this problem can use a given memory level. Used to
+/// split the capacity of shared memories.
+fn sharers(problem: &SingleLayerProblem<'_>, level: MemoryLevelId) -> u64 {
+    Operand::ALL
+        .iter()
+        .filter(|&&op| problem.footprint_bytes(op) > 0 && usable_levels(problem, op).contains(&level))
+        .count()
+        .max(1) as u64
+}
+
+/// Allocates the loops of a temporal mapping to the memory levels of one
+/// operand: each level (from the innermost up) keeps as many additional
+/// innermost loops resident as fit in its capacity share; the top level holds
+/// everything.
+pub fn allocate(
+    problem: &SingleLayerProblem<'_>,
+    mapping: &TemporalMapping,
+    operand: Operand,
+) -> OperandAllocation {
+    let levels = usable_levels(problem, operand);
+    let n_loops = mapping.len();
+    let hierarchy = problem.accelerator.hierarchy();
+    let mut result = Vec::with_capacity(levels.len());
+    let mut boundary = 0usize;
+    for (i, &level_id) in levels.iter().enumerate() {
+        let is_top = i + 1 == levels.len();
+        if is_top {
+            result.push((level_id, n_loops));
+            break;
+        }
+        let level = hierarchy.level(level_id);
+        let share = match level.capacity_bytes() {
+            None => u64::MAX,
+            Some(c) => c / sharers(problem, level_id),
+        };
+        while boundary < n_loops
+            && data_size_bytes(problem, mapping, operand, boundary + 1) <= share as f64
+        {
+            boundary += 1;
+        }
+        result.push((level_id, boundary));
+    }
+    OperandAllocation { levels: result }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defines_arch::zoo;
+    use defines_workload::{Layer, LayerDims};
+
+    fn problem(acc: &defines_arch::Accelerator, dims: LayerDims) -> SingleLayerProblem<'_> {
+        let layer = Layer::new("c", OpType::Conv, dims);
+        SingleLayerProblem::new(acc, &layer).clone()
+    }
+
+    #[test]
+    fn data_size_grows_with_boundary() {
+        let acc = zoo::meta_proto_like();
+        let p = problem(&acc, LayerDims::conv(64, 16, 32, 32, 3, 3));
+        let m = TemporalMapping::from_order(&p, &Dim::SPATIAL_AND_CHANNEL);
+        for op in Operand::ALL {
+            let mut prev = 0.0;
+            for b in 0..=m.len() {
+                let s = data_size_bytes(&p, &m, op, b);
+                assert!(s >= prev, "{op}: size must be monotone in boundary");
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn data_size_at_full_boundary_reaches_footprint() {
+        let acc = zoo::meta_proto_like();
+        let p = problem(&acc, LayerDims::conv(64, 16, 32, 32, 3, 3));
+        let m = TemporalMapping::from_order(&p, &Dim::SPATIAL_AND_CHANNEL);
+        // At the topmost boundary the resident set covers the entire operand.
+        // (Ceiling division of unrolled dimensions may slightly overestimate.)
+        for op in Operand::ALL {
+            let full = data_size_bytes(&p, &m, op, m.len());
+            assert!(full >= p.footprint_bytes(op) as f64, "{op}");
+            assert!(full <= p.footprint_bytes(op) as f64 * 1.3, "{op}");
+        }
+    }
+
+    #[test]
+    fn allocation_is_monotone_and_ends_at_top() {
+        let acc = zoo::meta_proto_like_df();
+        let p = problem(&acc, LayerDims::conv(64, 16, 32, 32, 3, 3));
+        let m = TemporalMapping::from_order(&p, &Dim::SPATIAL_AND_CHANNEL);
+        for op in Operand::ALL {
+            let a = allocate(&p, &m, op);
+            let mut prev = 0;
+            for &(_, b) in &a.levels {
+                assert!(b >= prev);
+                prev = b;
+            }
+            assert_eq!(a.levels.last().unwrap().1, m.len());
+            assert_eq!(a.top(), p.top_levels.level(op));
+        }
+    }
+
+    #[test]
+    fn usable_levels_respect_top() {
+        let acc = zoo::meta_proto_like_df();
+        let lb = acc.hierarchy().level_id_named("LB_IO").unwrap();
+        let layer = Layer::new("c", OpType::Conv, LayerDims::conv(8, 8, 8, 8, 3, 3));
+        let p = SingleLayerProblem::new(&acc, &layer)
+            .with_top_levels(crate::OperandTopLevels::dram(&acc).with_level(Operand::Input, lb));
+        let levels = usable_levels(&p, Operand::Input);
+        assert_eq!(*levels.last().unwrap(), lb);
+        assert!(levels.iter().all(|&l| l <= lb));
+        // Weights still go all the way to DRAM.
+        let w = usable_levels(&p, Operand::Weight);
+        assert_eq!(*w.last().unwrap(), acc.hierarchy().dram_id());
+    }
+
+    #[test]
+    fn small_layer_fits_innermost_buffers() {
+        let acc = zoo::meta_proto_like_df();
+        let p = problem(&acc, LayerDims::conv(32, 2, 4, 4, 3, 3));
+        let m = TemporalMapping::from_order(&p, &Dim::SPATIAL_AND_CHANNEL);
+        // Weights (32*2*9 = 576 B) fit in the 32 KB weight LB, so the LB
+        // boundary covers every loop.
+        let a = allocate(&p, &m, Operand::Weight);
+        let lb = acc.hierarchy().level_id_named("LB_W").unwrap();
+        let lb_entry = a.levels.iter().find(|(id, _)| *id == lb).unwrap();
+        assert_eq!(lb_entry.1, m.len());
+    }
+}

@@ -1,0 +1,253 @@
+//! Temporal mappings: ordered loop nests after spatial unrolling.
+
+use crate::problem::SingleLayerProblem;
+use defines_workload::Dim;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One temporal loop: a dimension and its trip count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalLoop {
+    /// The loop dimension.
+    pub dim: Dim,
+    /// The trip count (always ≥ 2 inside a [`TemporalMapping`]).
+    pub size: u64,
+}
+
+/// A temporal mapping: loops ordered from innermost to outermost.
+///
+/// Loop trip counts are the layer dimensions divided (ceiling) by the PE
+/// array's spatial unrolling — the spatially-unrolled part of each dimension
+/// executes in parallel and is therefore not part of the temporal loop nest.
+///
+/// ```
+/// use defines_arch::zoo;
+/// use defines_mapping::{SingleLayerProblem, TemporalMapping};
+/// use defines_workload::{Dim, Layer, LayerDims, OpType};
+///
+/// let acc = zoo::meta_proto_like();
+/// let layer = Layer::new("c", OpType::Conv, LayerDims::conv(64, 4, 16, 16, 3, 3));
+/// let problem = SingleLayerProblem::new(&acc, &layer);
+/// // Meta-proto unrolls K32 C2 OX4 OY4, so K contributes a temporal loop of 2.
+/// let m = TemporalMapping::from_order(&problem, &[Dim::K, Dim::C, Dim::OX, Dim::OY, Dim::FX, Dim::FY]);
+/// assert_eq!(m.loops()[0].dim, Dim::K);
+/// assert_eq!(m.loops()[0].size, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalMapping {
+    loops: Vec<TemporalLoop>,
+}
+
+impl TemporalMapping {
+    /// Builds a temporal mapping from an ordering of dimensions
+    /// (innermost first). Dimensions whose temporal trip count is 1 are
+    /// dropped.
+    pub fn from_order(problem: &SingleLayerProblem<'_>, order: &[Dim]) -> Self {
+        let unrolling = problem.accelerator.pe_array().unrolling();
+        let mut loops = Vec::with_capacity(order.len());
+        for &dim in order {
+            let total = problem.dims.size(dim).max(1);
+            let spatial = unrolling.factor(dim);
+            let temporal = total.div_ceil(spatial);
+            if temporal > 1 {
+                loops.push(TemporalLoop { dim, size: temporal });
+            }
+        }
+        Self { loops }
+    }
+
+    /// The loops, innermost first.
+    pub fn loops(&self) -> &[TemporalLoop] {
+        &self.loops
+    }
+
+    /// Number of temporal loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether there are no temporal loops (the whole tile fits one PE-array
+    /// pass).
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Product of the trip counts of loops `[0, boundary)` that iterate over
+    /// dimension `dim`.
+    pub fn below_product(&self, dim: Dim, boundary: usize) -> u64 {
+        self.loops[..boundary.min(self.loops.len())]
+            .iter()
+            .filter(|l| l.dim == dim)
+            .map(|l| l.size)
+            .product::<u64>()
+            .max(1)
+    }
+
+    /// The *refetch factor* for a level whose allocation boundary is
+    /// `boundary`: the product of the trip counts of loops above the boundary
+    /// that are irrelevant to the operand **and** outer to at least one
+    /// relevant loop that is itself above the boundary.
+    ///
+    /// Data resident in the level only has to be refetched when a relevant
+    /// loop above the boundary changes the working set *and* an irrelevant
+    /// loop even further out revisits the same data later.
+    pub fn refetch_factor(&self, relevant: &[Dim], boundary: usize) -> f64 {
+        let mut seen_relevant = false;
+        let mut factor = 1.0;
+        for l in &self.loops[boundary.min(self.loops.len())..] {
+            if relevant.contains(&l.dim) {
+                seen_relevant = true;
+            } else if seen_relevant {
+                factor *= l.size as f64;
+            }
+        }
+        factor
+    }
+
+    /// Total number of temporal iterations (product of all trip counts).
+    pub fn total_iterations(&self) -> u64 {
+        self.loops.iter().map(|l| l.size).product::<u64>().max(1)
+    }
+}
+
+impl fmt::Display for TemporalMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.loops.is_empty() {
+            return f.write_str("(fully spatial)");
+        }
+        let parts: Vec<String> = self
+            .loops
+            .iter()
+            .map(|l| format!("{} {}", l.dim, l.size))
+            .collect();
+        write!(f, "[{}]", parts.join(" -> "))
+    }
+}
+
+/// Generates candidate loop orderings (innermost-first permutations of the
+/// dimensions that have a non-trivial temporal trip count), capped at
+/// `max_orderings` by deterministic subsampling.
+pub fn candidate_orderings(problem: &SingleLayerProblem<'_>, max_orderings: usize) -> Vec<Vec<Dim>> {
+    let unrolling = problem.accelerator.pe_array().unrolling();
+    let dims: Vec<Dim> = Dim::SPATIAL_AND_CHANNEL
+        .iter()
+        .copied()
+        .filter(|&d| problem.dims.size(d).div_ceil(unrolling.factor(d)) > 1)
+        .collect();
+    if dims.is_empty() {
+        return vec![vec![]];
+    }
+    let mut all = Vec::new();
+    permute(&mut dims.clone(), 0, &mut all);
+    if all.len() <= max_orderings || max_orderings == 0 {
+        return all;
+    }
+    // Deterministic subsample: keep an evenly spaced subset.
+    let step = all.len() as f64 / max_orderings as f64;
+    (0..max_orderings)
+        .map(|i| all[(i as f64 * step) as usize].clone())
+        .collect()
+}
+
+fn permute(dims: &mut Vec<Dim>, start: usize, out: &mut Vec<Vec<Dim>>) {
+    if start == dims.len() {
+        out.push(dims.clone());
+        return;
+    }
+    for i in start..dims.len() {
+        dims.swap(start, i);
+        permute(dims, start + 1, out);
+        dims.swap(start, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defines_arch::zoo;
+    use defines_workload::{Layer, LayerDims, OpType};
+
+    fn problem_for(dims: LayerDims) -> (defines_arch::Accelerator, Layer) {
+        (zoo::meta_proto_like(), Layer::new("c", OpType::Conv, dims))
+    }
+
+    #[test]
+    fn from_order_divides_by_spatial_unrolling() {
+        let (acc, layer) = problem_for(LayerDims::conv(64, 4, 16, 16, 3, 3));
+        let p = SingleLayerProblem::new(&acc, &layer);
+        let m = TemporalMapping::from_order(&p, &Dim::SPATIAL_AND_CHANNEL);
+        // K: 64/32 = 2, C: 4/2 = 2, OX: 16/4 = 4, OY: 4, FX: 3, FY: 3.
+        assert_eq!(m.total_iterations(), 2 * 2 * 4 * 4 * 3 * 3);
+        // C is unrolled by 2 so its temporal loop is 2.
+        assert!(m.loops().iter().any(|l| l.dim == Dim::C && l.size == 2));
+    }
+
+    #[test]
+    fn trivial_loops_are_dropped() {
+        let (acc, layer) = problem_for(LayerDims::conv(32, 2, 4, 4, 1, 1));
+        let p = SingleLayerProblem::new(&acc, &layer);
+        let m = TemporalMapping::from_order(&p, &Dim::SPATIAL_AND_CHANNEL);
+        assert!(m.is_empty(), "{m}");
+        assert_eq!(m.total_iterations(), 1);
+    }
+
+    #[test]
+    fn below_product_counts_only_inner_loops() {
+        let (acc, layer) = problem_for(LayerDims::conv(64, 4, 16, 16, 3, 3));
+        let p = SingleLayerProblem::new(&acc, &layer);
+        let m = TemporalMapping::from_order(&p, &[Dim::OX, Dim::OY, Dim::K, Dim::C, Dim::FX, Dim::FY]);
+        assert_eq!(m.below_product(Dim::OX, 1), 4);
+        assert_eq!(m.below_product(Dim::OX, 0), 1);
+        assert_eq!(m.below_product(Dim::K, 2), 1);
+        assert_eq!(m.below_product(Dim::K, 3), 2);
+    }
+
+    #[test]
+    fn refetch_factor_examples() {
+        let (acc, layer) = problem_for(LayerDims::conv(128, 4, 16, 16, 1, 1));
+        let p = SingleLayerProblem::new(&acc, &layer);
+        // Innermost K (temporal 4), then OX (4), OY (4), C (2).
+        let m = TemporalMapping::from_order(&p, &[Dim::K, Dim::OX, Dim::OY, Dim::C]);
+        let w_rel = [Dim::K, Dim::C, Dim::FX, Dim::FY];
+        // Boundary after K: OX, OY are irrelevant to W but no relevant W loop
+        // sits between the boundary and them -> no refetch.
+        assert_eq!(m.refetch_factor(&w_rel, 1), 1.0);
+        // Boundary 0: K (relevant) is above, then OX/OY irrelevant above it -> 16.
+        assert_eq!(m.refetch_factor(&w_rel, 0), 16.0);
+        // Outputs: relevant K, OX, OY; C on the outside is a reduction loop but
+        // has relevant loops below it -> factor 2 at boundary 0.
+        let o_rel = [Dim::B, Dim::K, Dim::OX, Dim::OY];
+        assert_eq!(m.refetch_factor(&o_rel, 0), 2.0);
+        // Boundary above everything: never a refetch.
+        assert_eq!(m.refetch_factor(&o_rel, m.len()), 1.0);
+    }
+
+    #[test]
+    fn candidate_orderings_cover_permutations() {
+        let (acc, layer) = problem_for(LayerDims::conv(64, 4, 16, 16, 3, 3));
+        let p = SingleLayerProblem::new(&acc, &layer);
+        let all = candidate_orderings(&p, usize::MAX);
+        assert_eq!(all.len(), 720);
+        let capped = candidate_orderings(&p, 24);
+        assert_eq!(capped.len(), 24);
+        // Deterministic.
+        assert_eq!(capped, candidate_orderings(&p, 24));
+    }
+
+    #[test]
+    fn candidate_orderings_degenerate_layer() {
+        let (acc, layer) = problem_for(LayerDims::conv(32, 2, 4, 4, 1, 1));
+        let p = SingleLayerProblem::new(&acc, &layer);
+        let all = candidate_orderings(&p, usize::MAX);
+        assert_eq!(all, vec![Vec::<Dim>::new()]);
+    }
+
+    #[test]
+    fn display_shows_order() {
+        let (acc, layer) = problem_for(LayerDims::conv(64, 4, 16, 16, 3, 3));
+        let p = SingleLayerProblem::new(&acc, &layer);
+        let m = TemporalMapping::from_order(&p, &[Dim::K, Dim::OX]);
+        let s = m.to_string();
+        assert!(s.contains("K 2") && s.contains("OX 4"), "{s}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Model zoo: the workloads used by the DeFiNES paper's case studies.
+//!
+//! The five case-study workloads of Table I(b) are provided, plus the simple
+//! reference network used for the DepFiN validation (Section IV):
+//!
+//! | Constructor | Workload | Character |
+//! |---|---|---|
+//! | [`fsrcnn`] | FSRCNN super-resolution [5] | activation dominant |
+//! | [`dmcnn_vd`] | DMCNN-VD demosaicing [30] | activation dominant |
+//! | [`mccnn`] | MC-CNN fast stereo matching [33] | activation dominant |
+//! | [`mobilenet_v1`] | MobileNetV1 classification [10] | weight dominant |
+//! | [`resnet18`] | ResNet18 classification [8] | weight dominant |
+//! | [`reference_net`] | 11-layer custom reference network (Section IV) | activation dominant |
+//!
+//! The layer shapes are reconstructed from the papers the workloads originate
+//! from; tests in this module assert that the aggregate statistics (total
+//! weights, maximum feature map) land in the same regime as Table I(b).
+
+mod classification;
+mod restoration;
+
+pub use classification::{mobilenet_v1, resnet18};
+pub use restoration::{dmcnn_vd, fsrcnn, mccnn, reference_net};
+
+use crate::network::Network;
+
+/// All the case-study workloads of Table I(b), in the paper's order.
+pub fn case_study_workloads() -> Vec<Network> {
+    vec![fsrcnn(), dmcnn_vd(), mccnn(), mobilenet_v1(), resnet18()]
+}
+
+/// The workloads used for the DepFiN validation experiment (Fig. 11).
+pub fn validation_workloads() -> Vec<Network> {
+    vec![fsrcnn(), mccnn(), reference_net()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::WorkloadSummary;
+
+    #[test]
+    fn zoo_is_complete() {
+        let nets = case_study_workloads();
+        assert_eq!(nets.len(), 5);
+        let names: Vec<&str> = nets.iter().map(|n| n.name()).collect();
+        assert_eq!(
+            names,
+            ["FSRCNN", "DMCNN-VD", "MCCNN", "MobileNetV1", "ResNet18"]
+        );
+        for n in &nets {
+            n.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validation_set_members() {
+        let nets = validation_workloads();
+        assert_eq!(nets.len(), 3);
+        assert_eq!(nets[2].name(), "ReferenceNet");
+    }
+
+    #[test]
+    fn fsrcnn_matches_table_1b_regime() {
+        let s = WorkloadSummary::of(&fsrcnn());
+        // Table I(b): 15.6 KB weights, 28.5 MB max feature map, 10.9 MB average.
+        assert!(s.total_weight_bytes < 32 * 1024, "weights {}", s.total_weight_bytes);
+        assert!(s.max_feature_map_bytes > 20 * 1024 * 1024);
+        assert!(s.avg_feature_map_bytes > 5 * 1024 * 1024);
+    }
+
+    #[test]
+    fn dmcnn_vd_matches_table_1b_regime() {
+        let s = WorkloadSummary::of(&dmcnn_vd());
+        // Table I(b): 651.3 KB weights, 26.7 MB max feature map.
+        assert!(s.total_weight_bytes > 400 * 1024 && s.total_weight_bytes < 1024 * 1024);
+        assert!(s.max_feature_map_bytes > 20 * 1024 * 1024);
+    }
+
+    #[test]
+    fn mccnn_matches_table_1b_regime() {
+        let s = WorkloadSummary::of(&mccnn());
+        // Table I(b): 108.6 KB weights, 29.1 MB max feature map.
+        assert!(s.total_weight_bytes > 64 * 1024 && s.total_weight_bytes < 256 * 1024);
+        assert!(s.max_feature_map_bytes > 20 * 1024 * 1024);
+    }
+
+    #[test]
+    fn mobilenet_matches_table_1b_regime() {
+        let s = WorkloadSummary::of(&mobilenet_v1());
+        // Table I(b): ~4 MB weights, feature maps well below the weights.
+        assert!(s.total_weight_bytes > 3 * 1024 * 1024 && s.total_weight_bytes < 6 * 1024 * 1024);
+        assert!(s.max_feature_map_bytes < 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn resnet18_matches_table_1b_regime() {
+        let s = WorkloadSummary::of(&resnet18());
+        // Table I(b): ~11 MB weights.
+        assert!(s.total_weight_bytes > 9 * 1024 * 1024 && s.total_weight_bytes < 14 * 1024 * 1024);
+        assert!(s.max_feature_map_bytes < 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn reference_net_shape() {
+        let net = reference_net();
+        // 10 layers of K=32 3x3 plus one final K=16 1x1 layer.
+        assert_eq!(net.len(), 11);
+        assert_eq!(net.layers().last().unwrap().dims.fx, 1);
+        assert_eq!(net.layers().last().unwrap().dims.k, 16);
+        assert!(net.is_chain());
+    }
+
+    #[test]
+    fn fsrcnn_final_output_is_960_by_540() {
+        let net = fsrcnn();
+        let last = net.layers().last().unwrap();
+        assert_eq!((last.dims.ox, last.dims.oy), (960, 540));
+    }
+
+    #[test]
+    fn resnet18_contains_branches() {
+        let net = resnet18();
+        assert!(!net.is_chain());
+        // Residual adds exist.
+        assert!(net
+            .layers()
+            .iter()
+            .any(|l| l.op == crate::layer::OpType::Add));
+    }
+
+    #[test]
+    fn mobilenet_contains_depthwise() {
+        let net = mobilenet_v1();
+        let dw = net
+            .layers()
+            .iter()
+            .filter(|l| l.op == crate::layer::OpType::DepthwiseConv)
+            .count();
+        assert_eq!(dw, 13);
+    }
+}

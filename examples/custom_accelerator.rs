@@ -1,0 +1,70 @@
+//! Define a custom accelerator and workload from scratch and find its best
+//! depth-first schedule — the "experiment customization" workflow of the
+//! paper's artifact appendix.
+//!
+//! Run with: `cargo run --release -p defines-core --example custom_accelerator`
+
+use defines_arch::{AcceleratorBuilder, MemoryLevel, Operand, SpatialUnrolling};
+use defines_core::{DfCostModel, Explorer, OptimizeTarget, OverlapMode};
+use defines_workload::{Dim, Layer, LayerDims, Network, OpType};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 512-MAC edge accelerator with a shared 48 KB activation local buffer,
+    // a 256 KB weight buffer and a 1 MB global buffer.
+    let accelerator = AcceleratorBuilder::new("my-edge-npu")
+        .pe_array(
+            SpatialUnrolling::from_pairs([(Dim::K, 16), (Dim::C, 8), (Dim::OX, 4)]),
+            0.5,
+        )
+        .add_level(MemoryLevel::register("W_reg", 512, [Operand::Weight]))
+        .add_level(MemoryLevel::register("O_reg", 2048, [Operand::Output]))
+        .add_level(MemoryLevel::sram("LB_IO", 48 * 1024, [Operand::Input, Operand::Output]))
+        .add_level(MemoryLevel::sram("LB_W", 256 * 1024, [Operand::Weight]))
+        .add_level(MemoryLevel::sram("GB", 1024 * 1024, Operand::ALL))
+        .build()?;
+
+    // A small denoising network on a 512x512 image.
+    let mut network = Network::new("denoiser");
+    let mut prev = None;
+    let channels = [(3u64, 24u64), (24, 24), (24, 24), (24, 24), (24, 3)];
+    for (i, &(c, k)) in channels.iter().enumerate() {
+        let layer = Layer::new(
+            format!("conv{}", i + 1),
+            OpType::Conv,
+            LayerDims::conv(k, c, 512, 512, 3, 3).with_padding(1, 1),
+        );
+        let preds: Vec<_> = prev.into_iter().collect();
+        prev = Some(network.add_layer(layer, &preds)?);
+    }
+
+    let model = DfCostModel::new(&accelerator).with_fast_mapper();
+    let explorer = Explorer::new(&model);
+    let tiles = [(8, 8), (32, 32), (64, 64), (128, 128), (512, 512)];
+
+    let best_energy =
+        explorer.best_single_strategy(&network, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)?;
+    let best_latency =
+        explorer.best_single_strategy(&network, &tiles, &OverlapMode::ALL, OptimizeTarget::Latency)?;
+    let (sl, lbl) = explorer.baselines(&network)?;
+
+    println!("workload: {} on {}", network.name(), accelerator.name());
+    println!("single-layer       : {:>8.3} mJ, {:>8.2} Mcycles", sl.energy_mj(), sl.latency_mcycles());
+    println!("layer-by-layer     : {:>8.3} mJ, {:>8.2} Mcycles", lbl.energy_mj(), lbl.latency_mcycles());
+    println!(
+        "best DF (energy)   : {:>8.3} mJ, {:>8.2} Mcycles  <- {}",
+        best_energy.cost.energy_mj(),
+        best_energy.cost.latency_mcycles(),
+        best_energy.strategy
+    );
+    println!(
+        "best DF (latency)  : {:>8.3} mJ, {:>8.2} Mcycles  <- {}",
+        best_latency.cost.energy_mj(),
+        best_latency.cost.latency_mcycles(),
+        best_latency.strategy
+    );
+    println!(
+        "gain of best DF over single-layer: {:.1}x energy",
+        sl.energy_pj / best_energy.cost.energy_pj
+    );
+    Ok(())
+}

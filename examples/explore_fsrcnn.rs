@@ -1,0 +1,48 @@
+//! Depth-first design-space exploration of FSRCNN (a small version of case
+//! study 1): sweep tile sizes and overlap-storing modes, print the energy
+//! table and the best point.
+//!
+//! Run with: `cargo run --release -p defines-core --example explore_fsrcnn`
+
+use defines_arch::zoo;
+use defines_core::{DfCostModel, Explorer, OptimizeTarget, OverlapMode};
+use defines_workload::models;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = models::fsrcnn();
+    let accelerator = zoo::meta_proto_like_df();
+    let model = DfCostModel::new(&accelerator).with_fast_mapper();
+    let explorer = Explorer::new(&model);
+
+    // A reduced tile grid keeps this example snappy; the full Fig.-12 grid is
+    // produced by the `fig12_heatmap` bench binary.
+    let tile_sizes = [(4, 4), (16, 18), (60, 72), (240, 270), (960, 540)];
+
+    for mode in OverlapMode::ALL {
+        println!("\n=== {mode} ===");
+        println!("{:>14} {:>12} {:>18}", "tile (Tx,Ty)", "energy (mJ)", "latency (Mcycles)");
+        let results = explorer.sweep(&network, &tile_sizes, &[mode])?;
+        for r in &results {
+            println!(
+                "{:>14} {:>12.2} {:>18.2}",
+                r.strategy.tile.to_string(),
+                r.cost.energy_mj(),
+                r.cost.latency_mcycles()
+            );
+        }
+    }
+
+    let best = explorer.best_single_strategy(
+        &network,
+        &tile_sizes,
+        &OverlapMode::ALL,
+        OptimizeTarget::Energy,
+    )?;
+    println!(
+        "\nBest energy point: {} -> {:.2} mJ, {:.2} Mcycles",
+        best.strategy,
+        best.cost.energy_mj(),
+        best.cost.latency_mcycles()
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: evaluate one depth-first schedule of FSRCNN on the
+//! Meta-prototype-like DF accelerator and compare it against single-layer and
+//! layer-by-layer scheduling.
+//!
+//! Run with: `cargo run --release -p defines-core --example quickstart`
+
+use defines_arch::zoo;
+use defines_core::{DfCostModel, DfStrategy, OverlapMode, TileSize};
+use defines_workload::models;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a workload and an accelerator from the zoos.
+    let network = models::fsrcnn();
+    let accelerator = zoo::meta_proto_like_df();
+
+    // 2. Build the cost model. `with_fast_mapper` trades a few percent of
+    //    mapping quality for a much faster temporal-mapping search.
+    let model = DfCostModel::new(&accelerator).with_fast_mapper();
+
+    // 3. Describe the schedules to compare.
+    let schedules = [
+        ("single-layer", DfStrategy::single_layer()),
+        ("layer-by-layer", DfStrategy::layer_by_layer()),
+        (
+            "depth-first 4x72 fully-cached",
+            DfStrategy::depth_first(TileSize::new(4, 72), OverlapMode::FullyCached),
+        ),
+        (
+            "depth-first 60x72 fully-cached",
+            DfStrategy::depth_first(TileSize::new(60, 72), OverlapMode::FullyCached),
+        ),
+    ];
+
+    println!(
+        "{} on {} ({} MACs)",
+        network.name(),
+        accelerator.name(),
+        accelerator.pe_array().total_macs()
+    );
+    println!(
+        "{:<34} {:>12} {:>18} {:>12}",
+        "schedule", "energy (mJ)", "latency (Mcycles)", "DRAM (MB)"
+    );
+    for (name, strategy) in schedules {
+        let cost = model.evaluate_network(&network, &strategy)?;
+        println!(
+            "{:<34} {:>12.3} {:>18.2} {:>12.1}",
+            name,
+            cost.energy_mj(),
+            cost.latency_mcycles(),
+            cost.dram_traffic_bytes(&accelerator) / (1024.0 * 1024.0)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Integration tests for the canonical orderings between scheduling baselines
+//! across architectures and workloads (the relationships the paper's case
+//! studies rely on).
+
+use defines_arch::zoo;
+use defines_core::{DfCostModel, DfStrategy, Explorer, OptimizeTarget, OverlapMode};
+use defines_workload::models;
+
+/// Layer-by-layer is never worse than single-layer: it is the same schedule
+/// except that feature maps may stay in lower memory levels.
+#[test]
+fn lbl_never_worse_than_sl() {
+    for acc in [zoo::meta_proto_like_df(), zoo::tpu_like(), zoo::tesla_npu_like_df()] {
+        let model = DfCostModel::new(&acc).with_fast_mapper();
+        for net in [models::fsrcnn(), models::mobilenet_v1()] {
+            let sl = model.evaluate_network(&net, &DfStrategy::single_layer()).unwrap();
+            let lbl = model.evaluate_network(&net, &DfStrategy::layer_by_layer()).unwrap();
+            assert!(
+                lbl.energy_pj <= sl.energy_pj * 1.001,
+                "{} on {}: LBL {} vs SL {}",
+                net.name(),
+                acc.name(),
+                lbl.energy_pj,
+                sl.energy_pj
+            );
+        }
+    }
+}
+
+/// The best depth-first strategy found by the explorer beats layer-by-layer on
+/// DF-friendly hardware for an activation-dominant workload.
+#[test]
+fn best_df_beats_lbl_on_df_friendly_hardware() {
+    let tiles = [(16, 18), (60, 72), (120, 135)];
+    for acc in zoo::df_architectures() {
+        let model = DfCostModel::new(&acc).with_fast_mapper();
+        let explorer = Explorer::new(&model);
+        let net = models::fsrcnn();
+        let lbl = model.evaluate_network(&net, &DfStrategy::layer_by_layer()).unwrap();
+        let best = explorer
+            .best_single_strategy(&net, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)
+            .unwrap();
+        assert!(
+            best.cost.energy_pj < lbl.energy_pj,
+            "{}: best DF {} vs LBL {}",
+            acc.name(),
+            best.cost.energy_pj,
+            lbl.energy_pj
+        );
+    }
+}
+
+/// DF-friendly variants are better than (or close to) their baselines when
+/// both use their best depth-first schedule — the overall conclusion of case
+/// study 3.
+#[test]
+fn df_variants_do_not_regress_under_df_scheduling() {
+    let tiles = [(60, 72), (120, 135)];
+    let net = models::fsrcnn();
+    for (baseline, variant) in zoo::baseline_architectures().into_iter().zip(zoo::df_architectures()) {
+        let base_model = DfCostModel::new(&baseline).with_fast_mapper();
+        let var_model = DfCostModel::new(&variant).with_fast_mapper();
+        let base_best = Explorer::new(&base_model)
+            .best_single_strategy(&net, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)
+            .unwrap();
+        let var_best = Explorer::new(&var_model)
+            .best_single_strategy(&net, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)
+            .unwrap();
+        assert!(
+            var_best.cost.energy_pj <= base_best.cost.energy_pj * 1.15,
+            "{} vs {}: {} vs {}",
+            variant.name(),
+            baseline.name(),
+            var_best.cost.energy_pj,
+            base_best.cost.energy_pj
+        );
+    }
+}
+
+/// Optimizing for energy and for EDP give consistent Pareto behaviour: the
+/// EDP-optimal point never has both higher energy and higher latency than the
+/// energy-optimal point.
+#[test]
+fn edp_target_is_consistent() {
+    let acc = zoo::meta_proto_like_df();
+    let model = DfCostModel::new(&acc).with_fast_mapper();
+    let explorer = Explorer::new(&model);
+    let net = models::fsrcnn();
+    let tiles = [(4, 4), (16, 18), (60, 72), (240, 270)];
+    let energy_best = explorer
+        .best_single_strategy(&net, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)
+        .unwrap();
+    let edp_best = explorer
+        .best_single_strategy(&net, &tiles, &OverlapMode::ALL, OptimizeTarget::Edp)
+        .unwrap();
+    assert!(edp_best.cost.edp() <= energy_best.cost.edp() * 1.001);
+    assert!(
+        !(edp_best.cost.energy_pj > energy_best.cost.energy_pj * 1.001
+            && edp_best.cost.latency_cycles > energy_best.cost.latency_cycles * 1.001),
+        "EDP optimum dominated by the energy optimum"
+    );
+}

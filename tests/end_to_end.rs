@@ -1,0 +1,143 @@
+//! End-to-end integration tests: full workloads from the model zoo evaluated
+//! on full architectures from the accelerator zoo, spanning every crate of
+//! the workspace.
+
+use defines_arch::zoo;
+use defines_core::{DfCostModel, DfStrategy, OverlapMode, TileSize};
+use defines_workload::models;
+
+/// Every case-study workload evaluates cleanly on every case-study
+/// architecture under single-layer scheduling, with positive finite costs.
+#[test]
+fn all_workloads_evaluate_on_all_architectures_single_layer() {
+    for acc in zoo::all_case_study_architectures() {
+        let model = DfCostModel::new(&acc).with_fast_mapper();
+        for net in models::case_study_workloads() {
+            let cost = model
+                .evaluate_network(&net, &DfStrategy::single_layer())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", net.name(), acc.name()));
+            assert!(cost.energy_pj.is_finite() && cost.energy_pj > 0.0);
+            assert!(cost.latency_cycles.is_finite() && cost.latency_cycles > 0.0);
+            assert!(cost.macs > 0);
+            // Single-layer scheduling must move every intermediate feature map
+            // through DRAM at least once.
+            let fm_bytes: u64 = net.layers().iter().map(|l| l.output_bytes()).sum();
+            assert!(
+                cost.dram_traffic_bytes(&acc) >= fm_bytes as f64,
+                "{} on {}",
+                net.name(),
+                acc.name()
+            );
+        }
+    }
+}
+
+/// Depth-first scheduling evaluates on all architectures and never produces
+/// more DRAM traffic than single-layer scheduling for an activation-dominant
+/// workload.
+#[test]
+fn depth_first_reduces_dram_traffic_everywhere() {
+    let net = models::fsrcnn();
+    for acc in zoo::df_architectures() {
+        let model = DfCostModel::new(&acc).with_fast_mapper();
+        let sl = model.evaluate_network(&net, &DfStrategy::single_layer()).unwrap();
+        let df = model
+            .evaluate_network(
+                &net,
+                &DfStrategy::depth_first(TileSize::new(60, 72), OverlapMode::FullyCached),
+            )
+            .unwrap();
+        assert!(
+            df.dram_traffic_bytes(&acc) < sl.dram_traffic_bytes(&acc),
+            "{}: DF {} vs SL {}",
+            acc.name(),
+            df.dram_traffic_bytes(&acc),
+            sl.dram_traffic_bytes(&acc)
+        );
+    }
+}
+
+/// MAC counts are strategy-independent for non-recompute schedules and equal
+/// to the analytical workload MAC count.
+#[test]
+fn mac_count_conservation() {
+    let acc = zoo::meta_proto_like_df();
+    let model = DfCostModel::new(&acc).with_fast_mapper();
+    for net in [models::fsrcnn(), models::mobilenet_v1()] {
+        let expected: u64 = net.layers().iter().map(|l| l.macs()).sum();
+        let sl = model.evaluate_network(&net, &DfStrategy::single_layer()).unwrap();
+        assert_eq!(sl.macs, expected, "{} SL", net.name());
+        let lbl = model.evaluate_network(&net, &DfStrategy::layer_by_layer()).unwrap();
+        assert_eq!(lbl.macs, expected, "{} LBL", net.name());
+        let fc = model
+            .evaluate_network(
+                &net,
+                &DfStrategy::depth_first(TileSize::new(16, 16), OverlapMode::FullyCached),
+            )
+            .unwrap();
+        assert_eq!(fc.macs, expected, "{} fully-cached DF", net.name());
+        // Recompute can only add MACs, never remove them.
+        let fr = model
+            .evaluate_network(
+                &net,
+                &DfStrategy::depth_first(TileSize::new(16, 16), OverlapMode::FullyRecompute),
+            )
+            .unwrap();
+        assert!(fr.macs >= expected, "{} fully-recompute DF", net.name());
+    }
+}
+
+/// Branchy networks (ResNet18) evaluate under every overlap mode and produce
+/// consistent stack partitions.
+#[test]
+fn resnet18_depth_first_evaluation() {
+    let acc = zoo::meta_proto_like_df();
+    let model = DfCostModel::new(&acc).with_fast_mapper();
+    let net = models::resnet18();
+    for mode in OverlapMode::ALL {
+        let cost = model
+            .evaluate_network(&net, &DfStrategy::depth_first(TileSize::new(14, 14), mode))
+            .unwrap();
+        assert!(cost.energy_pj > 0.0);
+        // Every layer is covered by exactly one stack.
+        let covered: usize = cost.stacks.iter().map(|s| s.stack.len()).sum();
+        assert_eq!(covered, net.len());
+        // Multiple stacks are needed: ResNet18's 11 MB of weights cannot fuse
+        // into a single stack on a 1 MB weight buffer.
+        assert!(cost.stacks.len() > 1);
+    }
+}
+
+/// The depth-first model's tile accounting is exact: per stack, the tile-type
+/// counts sum to the number of tiles in the grid.
+#[test]
+fn tile_type_counts_are_exhaustive() {
+    let acc = zoo::ascend_like_df();
+    let model = DfCostModel::new(&acc).with_fast_mapper();
+    let net = models::mccnn();
+    let cost = model
+        .evaluate_network(
+            &net,
+            &DfStrategy::depth_first(TileSize::new(80, 45), OverlapMode::HCachedVRecompute),
+        )
+        .unwrap();
+    for stack in &cost.stacks {
+        let sum: u64 = stack.tile_types.iter().map(|t| t.count).sum();
+        assert_eq!(sum, stack.num_tiles);
+    }
+}
+
+/// The DepFiN-like validation setup (Fig. 11) runs end to end for the three
+/// validation workloads.
+#[test]
+fn depfin_validation_setup_runs() {
+    let acc = zoo::depfin_like();
+    let model = DfCostModel::new(&acc).with_fast_mapper();
+    for net in models::validation_workloads() {
+        let last = net.layers().last().unwrap();
+        let strategy =
+            DfStrategy::depth_first(TileSize::new(last.dims.ox, 8), OverlapMode::FullyCached);
+        let cost = model.evaluate_network(&net, &strategy).unwrap();
+        assert!(cost.energy_pj > 0.0 && cost.latency_cycles > 0.0, "{}", net.name());
+    }
+}
