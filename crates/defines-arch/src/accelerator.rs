@@ -75,6 +75,35 @@ impl Accelerator {
         self.name = name.into();
         self
     }
+
+    /// A stable structural fingerprint of the accelerator: the name, the PE
+    /// array and every memory level's parameters are hashed. Two accelerators
+    /// with the same fingerprint behave identically under the cost model, so
+    /// the fingerprint can key cross-accelerator memoization caches (the
+    /// mapping cache of `defines-mapping`).
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.name.hash(&mut h);
+        for (dim, factor) in self.pe_array.unrolling().iter() {
+            (dim as u64, factor).hash(&mut h);
+        }
+        self.pe_array.mac_energy_pj().to_bits().hash(&mut h);
+        for level in self.hierarchy.levels() {
+            level.name().hash(&mut h);
+            level.capacity_bytes().hash(&mut h);
+            level.read_energy_pj_per_byte().to_bits().hash(&mut h);
+            level.write_energy_pj_per_byte().to_bits().hash(&mut h);
+            level.read_bw_bytes_per_cycle().to_bits().hash(&mut h);
+            level.write_bw_bytes_per_cycle().to_bits().hash(&mut h);
+            level.is_dram().hash(&mut h);
+            for operand in crate::operand::Operand::ALL {
+                level.serves(operand).hash(&mut h);
+            }
+        }
+        h.finish()
+    }
 }
 
 /// Builder for [`Accelerator`].
@@ -204,13 +233,32 @@ mod tests {
         let acc = AcceleratorBuilder::new("a")
             .pe_array(SpatialUnrolling::from_pairs([(Dim::K, 8)]), 0.5)
             .add_level(MemoryLevel::sram("LB_W", 64 * 1024, [Operand::Weight]))
-            .add_level(MemoryLevel::sram("LB_IO", 32 * 1024, [Operand::Input, Operand::Output]))
+            .add_level(MemoryLevel::sram(
+                "LB_IO",
+                32 * 1024,
+                [Operand::Input, Operand::Output],
+            ))
             .build()
             .unwrap();
         let cap = OperandCapacity::of(&acc);
         assert_eq!(cap.weight_bytes, 64 * 1024);
         assert_eq!(cap.input_bytes, 32 * 1024);
         assert_eq!(cap.output_bytes, 32 * 1024);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let build = |mac_pj: f64| {
+            AcceleratorBuilder::new("a")
+                .pe_array(SpatialUnrolling::from_pairs([(Dim::K, 8)]), mac_pj)
+                .add_level(MemoryLevel::sram("LB", 1024, Operand::ALL))
+                .build()
+                .unwrap()
+        };
+        let a = build(0.5);
+        assert_eq!(a.fingerprint(), build(0.5).fingerprint());
+        assert_ne!(a.fingerprint(), build(0.6).fingerprint());
+        assert_ne!(a.fingerprint(), a.clone().renamed("b").fingerprint());
     }
 
     #[test]

@@ -63,7 +63,14 @@ mod tests {
 
     #[test]
     fn energy_monotone_in_capacity() {
-        let sizes = [1024u64, 32 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024, 2 * 1024 * 1024];
+        let sizes = [
+            1024u64,
+            32 * 1024,
+            64 * 1024,
+            256 * 1024,
+            1024 * 1024,
+            2 * 1024 * 1024,
+        ];
         for w in sizes.windows(2) {
             assert!(
                 sram_energy_pj_per_byte(w[0]) < sram_energy_pj_per_byte(w[1]),

@@ -82,7 +82,15 @@ impl MemoryLevel {
     ) -> Self {
         let e = crate::energy::REGISTER_ENERGY_PJ_PER_BYTE;
         // Register files are wide enough never to bottleneck the PE array.
-        Self::new(name, Some(capacity_bytes), e, e, f64::INFINITY, f64::INFINITY, operands)
+        Self::new(
+            name,
+            Some(capacity_bytes),
+            e,
+            e,
+            f64::INFINITY,
+            f64::INFINITY,
+            operands,
+        )
     }
 
     /// Creates the DRAM level (unbounded capacity, serves every operand).
@@ -272,12 +280,18 @@ impl MemoryHierarchy {
 
     /// Finds a level id by name.
     pub fn level_id_named(&self, name: &str) -> Option<MemoryLevelId> {
-        self.levels.iter().position(|l| l.name() == name).map(MemoryLevelId)
+        self.levels
+            .iter()
+            .position(|l| l.name() == name)
+            .map(MemoryLevelId)
     }
 
     /// Iterates over the levels (with ids) that serve a given operand,
     /// innermost first.
-    pub fn levels_for(&self, operand: Operand) -> impl Iterator<Item = (MemoryLevelId, &MemoryLevel)> {
+    pub fn levels_for(
+        &self,
+        operand: Operand,
+    ) -> impl Iterator<Item = (MemoryLevelId, &MemoryLevel)> {
         self.levels
             .iter()
             .enumerate()
@@ -309,7 +323,12 @@ impl MemoryHierarchy {
     /// The *capacity share* of a level divides its capacity by the number of
     /// operands it serves; this mirrors DeFiNES' conservative treatment of
     /// shared memories when deciding whether data "fits" a level.
-    pub fn lowest_fitting(&self, operand: Operand, bytes: u64, floor: MemoryLevelId) -> MemoryLevelId {
+    pub fn lowest_fitting(
+        &self,
+        operand: Operand,
+        bytes: u64,
+        floor: MemoryLevelId,
+    ) -> MemoryLevelId {
         for (id, level) in self.levels_for(operand) {
             if id < floor {
                 continue;
@@ -327,10 +346,7 @@ impl MemoryHierarchy {
 
     /// Total on-chip capacity in bytes (all levels except DRAM).
     pub fn total_on_chip_bytes(&self) -> u64 {
-        self.levels
-            .iter()
-            .filter_map(|l| l.capacity_bytes())
-            .sum()
+        self.levels.iter().filter_map(|l| l.capacity_bytes()).sum()
     }
 }
 
@@ -389,7 +405,10 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert_eq!(MemoryHierarchy::new(vec![]).unwrap_err(), HierarchyError::Empty);
+        assert_eq!(
+            MemoryHierarchy::new(vec![]).unwrap_err(),
+            HierarchyError::Empty
+        );
         let no_dram = MemoryHierarchy::new(vec![MemoryLevel::sram("LB", 1024, Operand::ALL)]);
         assert_eq!(no_dram.unwrap_err(), HierarchyError::MissingDram);
         let missing_op = MemoryHierarchy::new(vec![

@@ -180,7 +180,10 @@ mod tests {
         // Outputs are irrelevant to C, FX, FY: reuse 2.
         assert_eq!(u.spatial_reuse(&[Dim::K, Dim::OX, Dim::OY, Dim::B]), 2);
         // Inputs are irrelevant to K: reuse 32.
-        assert_eq!(u.spatial_reuse(&[Dim::C, Dim::OX, Dim::OY, Dim::FX, Dim::FY, Dim::B]), 32);
+        assert_eq!(
+            u.spatial_reuse(&[Dim::C, Dim::OX, Dim::OY, Dim::FX, Dim::FY, Dim::B]),
+            32
+        );
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! but inputs and outputs share a lower-level memory and weights get an
 //! on-chip global buffer).
 
+#![allow(clippy::identity_op)] // 1 * KB / 1 * MB capacities read as a spec table
+
 use crate::accelerator::{Accelerator, AcceleratorBuilder};
 use crate::energy::MAC_ENERGY_PJ;
 use crate::memory::MemoryLevel;
@@ -27,7 +29,10 @@ fn unroll(pairs: &[(Dim, u64)]) -> SpatialUnrolling {
 /// between weights and activations.
 pub fn meta_proto_like() -> Accelerator {
     AcceleratorBuilder::new("Meta-proto-like")
-        .pe_array(unroll(&[(Dim::K, 32), (Dim::C, 2), (Dim::OX, 4), (Dim::OY, 4)]), MAC_ENERGY_PJ)
+        .pe_array(
+            unroll(&[(Dim::K, 32), (Dim::C, 2), (Dim::OX, 4), (Dim::OY, 4)]),
+            MAC_ENERGY_PJ,
+        )
         .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
         .add_level(MemoryLevel::register("O_reg", 2 * KB, [Output]))
         .add_level(MemoryLevel::sram("LB_W", 64 * KB, [Weight]))
@@ -42,7 +47,10 @@ pub fn meta_proto_like() -> Accelerator {
 /// local buffer, weights keep a 32 KB local buffer; global buffers unchanged.
 pub fn meta_proto_like_df() -> Accelerator {
     AcceleratorBuilder::new("Meta-proto-like DF")
-        .pe_array(unroll(&[(Dim::K, 32), (Dim::C, 2), (Dim::OX, 4), (Dim::OY, 4)]), MAC_ENERGY_PJ)
+        .pe_array(
+            unroll(&[(Dim::K, 32), (Dim::C, 2), (Dim::OX, 4), (Dim::OY, 4)]),
+            MAC_ENERGY_PJ,
+        )
         .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
         .add_level(MemoryLevel::register("O_reg", 2 * KB, [Output]))
         .add_level(MemoryLevel::sram("LB_W", 32 * KB, [Weight]))
@@ -83,7 +91,10 @@ pub fn tpu_like_df() -> Accelerator {
 /// local buffer, 2 MB unified activation global buffer.
 pub fn edge_tpu_like() -> Accelerator {
     AcceleratorBuilder::new("Edge-TPU-like")
-        .pe_array(unroll(&[(Dim::K, 8), (Dim::C, 8), (Dim::OX, 4), (Dim::OY, 4)]), MAC_ENERGY_PJ)
+        .pe_array(
+            unroll(&[(Dim::K, 8), (Dim::C, 8), (Dim::OX, 4), (Dim::OY, 4)]),
+            MAC_ENERGY_PJ,
+        )
         .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
         .add_level(MemoryLevel::register("O_reg", 2 * KB, [Output]))
         .add_level(MemoryLevel::sram("LB_W", 32 * KB, [Weight]))
@@ -97,7 +108,10 @@ pub fn edge_tpu_like() -> Accelerator {
 /// weights.
 pub fn edge_tpu_like_df() -> Accelerator {
     AcceleratorBuilder::new("Edge-TPU-like DF")
-        .pe_array(unroll(&[(Dim::K, 8), (Dim::C, 8), (Dim::OX, 4), (Dim::OY, 4)]), MAC_ENERGY_PJ)
+        .pe_array(
+            unroll(&[(Dim::K, 8), (Dim::C, 8), (Dim::OX, 4), (Dim::OY, 4)]),
+            MAC_ENERGY_PJ,
+        )
         .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
         .add_level(MemoryLevel::register("O_reg", 2 * KB, [Output]))
         .add_level(MemoryLevel::sram("LB_W", 16 * KB, [Weight]))
@@ -112,7 +126,10 @@ pub fn edge_tpu_like_df() -> Accelerator {
 /// local buffers (W 64 KB, I 64 KB, O 256 KB) and a split global buffer.
 pub fn ascend_like() -> Accelerator {
     AcceleratorBuilder::new("Ascend-like")
-        .pe_array(unroll(&[(Dim::K, 16), (Dim::C, 16), (Dim::OX, 2), (Dim::OY, 2)]), MAC_ENERGY_PJ)
+        .pe_array(
+            unroll(&[(Dim::K, 16), (Dim::C, 16), (Dim::OX, 2), (Dim::OY, 2)]),
+            MAC_ENERGY_PJ,
+        )
         .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
         .add_level(MemoryLevel::register("O_reg", 2 * KB, [Output]))
         .add_level(MemoryLevel::sram("LB_W", 64 * KB, [Weight]))
@@ -128,7 +145,10 @@ pub fn ascend_like() -> Accelerator {
 /// 256 KB second-level shared activation buffer.
 pub fn ascend_like_df() -> Accelerator {
     AcceleratorBuilder::new("Ascend-like DF")
-        .pe_array(unroll(&[(Dim::K, 16), (Dim::C, 16), (Dim::OX, 2), (Dim::OY, 2)]), MAC_ENERGY_PJ)
+        .pe_array(
+            unroll(&[(Dim::K, 16), (Dim::C, 16), (Dim::OX, 2), (Dim::OY, 2)]),
+            MAC_ENERGY_PJ,
+        )
         .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
         .add_level(MemoryLevel::register("O_reg", 2 * KB, [Output]))
         .add_level(MemoryLevel::sram("LB_W", 64 * KB, [Weight]))
@@ -144,7 +164,10 @@ pub fn ascend_like_df() -> Accelerator {
 /// input local buffers, split global buffer.
 pub fn tesla_npu_like() -> Accelerator {
     AcceleratorBuilder::new("Tesla-NPU-like")
-        .pe_array(unroll(&[(Dim::K, 32), (Dim::OX, 8), (Dim::OY, 4)]), MAC_ENERGY_PJ)
+        .pe_array(
+            unroll(&[(Dim::K, 32), (Dim::OX, 8), (Dim::OY, 4)]),
+            MAC_ENERGY_PJ,
+        )
         .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
         .add_level(MemoryLevel::register("O_reg", 4 * KB, [Output]))
         .add_level(MemoryLevel::sram("LB_W", 1 * KB, [Weight]))
@@ -160,7 +183,10 @@ pub fn tesla_npu_like() -> Accelerator {
 /// buffer to 896 KB to keep the total on-chip capacity constant.
 pub fn tesla_npu_like_df() -> Accelerator {
     AcceleratorBuilder::new("Tesla-NPU-like DF")
-        .pe_array(unroll(&[(Dim::K, 32), (Dim::OX, 8), (Dim::OY, 4)]), MAC_ENERGY_PJ)
+        .pe_array(
+            unroll(&[(Dim::K, 32), (Dim::OX, 8), (Dim::OY, 4)]),
+            MAC_ENERGY_PJ,
+        )
         .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
         .add_level(MemoryLevel::register("O_reg", 4 * KB, [Output]))
         .add_level(MemoryLevel::sram("LB_W", 1 * KB, [Weight]))
@@ -178,7 +204,10 @@ pub fn tesla_npu_like_df() -> Accelerator {
 /// local buffer and an on-chip weight buffer.
 pub fn depfin_like() -> Accelerator {
     AcceleratorBuilder::new("DepFiN-like")
-        .pe_array(unroll(&[(Dim::K, 16), (Dim::C, 4), (Dim::OX, 16)]), MAC_ENERGY_PJ)
+        .pe_array(
+            unroll(&[(Dim::K, 16), (Dim::C, 4), (Dim::OX, 16)]),
+            MAC_ENERGY_PJ,
+        )
         .add_level(MemoryLevel::register("W_reg", 1 * KB, [Weight]))
         .add_level(MemoryLevel::register("O_reg", 4 * KB, [Output]))
         .add_level(MemoryLevel::sram("LB_W", 64 * KB, [Weight]))
@@ -298,7 +327,11 @@ mod tests {
                     && l.serves(Output)
                     && l.capacity_bytes().unwrap_or(0) <= 256 * KB
             });
-            assert!(has_shared_io_lb, "{} lacks a shared I/O local buffer", acc.name());
+            assert!(
+                has_shared_io_lb,
+                "{} lacks a shared I/O local buffer",
+                acc.name()
+            );
         }
     }
 

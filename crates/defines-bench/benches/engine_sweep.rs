@@ -1,0 +1,138 @@
+//! Criterion bench: full-grid FSRCNN design-space sweep, sequential (the
+//! seed's cold-cache scan) versus the exploration engine (parallel work
+//! queue + shared mapping memoization).
+//!
+//! Besides the criterion samples, the bench writes `BENCH_engine.json` at
+//! the repository root with cold/warm wall-clock numbers and the measured
+//! speedups, seeding the benchmark trajectory of the project.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defines_bench::{fig12_tile_grid, write_json, ExperimentContext};
+use defines_core::{DfCostModel, Explorer, OverlapMode};
+use defines_engine::EngineConfig;
+use defines_mapping::MappingCache;
+use serde::Serialize;
+use std::time::Instant;
+
+fn grid() -> Vec<(u64, u64)> {
+    fig12_tile_grid()
+}
+
+fn bench_engine_sweep(c: &mut Criterion) {
+    let ctx = ExperimentContext::case_study_1();
+    let net = ctx.fsrcnn();
+    let tiles = grid();
+
+    let mut group = c.benchmark_group("engine_sweep");
+    group.sample_size(10);
+
+    // The seed's usage pattern: a fresh model (cold mapping cache) swept
+    // sequentially — every design point re-runs its mapping sub-problems.
+    group.bench_function("sequential_cold_cache", |b| {
+        b.iter(|| {
+            let model = ctx.model();
+            let explorer = Explorer::new(&model);
+            explorer
+                .sweep_sequential(&net, &tiles, &OverlapMode::ALL)
+                .unwrap()
+        });
+    });
+
+    // The engine: parallel work queue plus a mapping cache shared across
+    // sweeps, so repeated exploration (the common DSE loop) pays the mapper
+    // once per distinct sub-problem.
+    let shared = MappingCache::new();
+    let engine_model = DfCostModel::new(&ctx.accelerator)
+        .with_fast_mapper()
+        .with_shared_cache(shared.clone());
+    group.bench_function("engine_parallel_memoized", |b| {
+        b.iter(|| {
+            let explorer =
+                Explorer::new(&engine_model).with_engine_config(EngineConfig::parallel());
+            explorer.sweep(&net, &tiles, &OverlapMode::ALL).unwrap()
+        });
+    });
+    group.finish();
+
+    write_report(&ctx, &net, &tiles);
+}
+
+/// One-shot wall-clock comparison written to `BENCH_engine.json`.
+#[derive(Serialize)]
+struct EngineBenchReport {
+    workload: String,
+    accelerator: String,
+    design_points: usize,
+    threads: usize,
+    sequential_cold_ms: f64,
+    engine_cold_ms: f64,
+    engine_warm_ms: f64,
+    speedup_cold: f64,
+    speedup_warm: f64,
+    cache_entries: usize,
+    cache_hit_rate: f64,
+    results_identical: bool,
+}
+
+fn write_report(ctx: &ExperimentContext, net: &defines_workload::Network, tiles: &[(u64, u64)]) {
+    let start = Instant::now();
+    let cold_model = ctx.model();
+    let sequential = Explorer::new(&cold_model)
+        .sweep_sequential(net, tiles, &OverlapMode::ALL)
+        .unwrap();
+    let sequential_cold = start.elapsed();
+
+    let shared = MappingCache::new();
+    let model = DfCostModel::new(&ctx.accelerator)
+        .with_fast_mapper()
+        .with_shared_cache(shared.clone());
+    let explorer = Explorer::new(&model).with_engine_config(EngineConfig::parallel());
+
+    let start = Instant::now();
+    let engine_first = explorer.sweep(net, tiles, &OverlapMode::ALL).unwrap();
+    let engine_cold = start.elapsed();
+
+    let start = Instant::now();
+    let engine_second = explorer.sweep(net, tiles, &OverlapMode::ALL).unwrap();
+    let engine_warm = start.elapsed();
+
+    let stats = shared.stats();
+    let report = EngineBenchReport {
+        workload: net.name().to_string(),
+        accelerator: ctx.accelerator.name().to_string(),
+        design_points: tiles.len() * OverlapMode::ALL.len(),
+        threads: EngineConfig::parallel().threads,
+        sequential_cold_ms: sequential_cold.as_secs_f64() * 1e3,
+        engine_cold_ms: engine_cold.as_secs_f64() * 1e3,
+        engine_warm_ms: engine_warm.as_secs_f64() * 1e3,
+        speedup_cold: sequential_cold.as_secs_f64() / engine_cold.as_secs_f64(),
+        speedup_warm: sequential_cold.as_secs_f64() / engine_warm.as_secs_f64(),
+        cache_entries: stats.entries,
+        cache_hit_rate: stats.hit_rate(),
+        results_identical: engine_first == sequential && engine_second == sequential,
+    };
+    assert!(
+        report.results_identical,
+        "engine sweep diverged from the sequential reference"
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    write_json(path, &report).expect("write BENCH_engine.json");
+    eprintln!(
+        "  BENCH_engine.json: sequential {:.1} ms | engine cold {:.1} ms ({:.2}x) | engine warm \
+         {:.1} ms ({:.2}x) | {} threads",
+        report.sequential_cold_ms,
+        report.engine_cold_ms,
+        report.speedup_cold,
+        report.engine_warm_ms,
+        report.speedup_warm,
+        report.threads
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_engine_sweep
+}
+criterion_main!(benches);

@@ -8,15 +8,32 @@ use defines_workload::{Layer, LayerDims, OpType};
 
 fn bench_single_layer(c: &mut Criterion) {
     let layers = [
-        ("fsrcnn_map_3x3", Layer::new("m", OpType::Conv, LayerDims::conv(12, 12, 60, 72, 3, 3))),
-        ("resnet_stage1_3x3", Layer::new("r", OpType::Conv, LayerDims::conv(64, 64, 56, 56, 3, 3))),
-        ("mobilenet_pw_1x1", Layer::new("p", OpType::Conv, LayerDims::conv(256, 128, 28, 28, 1, 1))),
+        (
+            "fsrcnn_map_3x3",
+            Layer::new("m", OpType::Conv, LayerDims::conv(12, 12, 60, 72, 3, 3)),
+        ),
+        (
+            "resnet_stage1_3x3",
+            Layer::new("r", OpType::Conv, LayerDims::conv(64, 64, 56, 56, 3, 3)),
+        ),
+        (
+            "mobilenet_pw_1x1",
+            Layer::new("p", OpType::Conv, LayerDims::conv(256, 128, 28, 28, 1, 1)),
+        ),
         (
             "mobilenet_dw_3x3",
-            Layer::new("d", OpType::DepthwiseConv, LayerDims::conv(128, 128, 56, 56, 3, 3)),
+            Layer::new(
+                "d",
+                OpType::DepthwiseConv,
+                LayerDims::conv(128, 128, 56, 56, 3, 3),
+            ),
         ),
     ];
-    let accelerators = [zoo::meta_proto_like_df(), zoo::tpu_like(), zoo::edge_tpu_like_df()];
+    let accelerators = [
+        zoo::meta_proto_like_df(),
+        zoo::tpu_like(),
+        zoo::edge_tpu_like_df(),
+    ];
 
     let mut group = c.benchmark_group("single_layer_mapper");
     for acc in &accelerators {

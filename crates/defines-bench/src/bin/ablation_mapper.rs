@@ -22,8 +22,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tiles = [(4u64, 72u64), (16, 18), (60, 72)];
     let budgets = [6usize, 12, 48, 120, 720];
 
-    println!("Mapper-budget ablation: FSRCNN on {}, fully-cached tiles {:?}\n", acc.name(), tiles);
-    let header = ["orderings", "energy (4,72)", "energy (16,18)", "energy (60,72)", "total time (ms)"];
+    println!(
+        "Mapper-budget ablation: FSRCNN on {}, fully-cached tiles {:?}\n",
+        acc.name(),
+        tiles
+    );
+    let header = [
+        "orderings",
+        "energy (4,72)",
+        "energy (16,18)",
+        "energy (60,72)",
+        "total time (ms)",
+    ];
     let mut rows = Vec::new();
     let mut reference: Option<Vec<f64>> = None;
     for &budget in &budgets {

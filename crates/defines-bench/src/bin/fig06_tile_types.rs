@@ -27,7 +27,9 @@ fn main() {
         for mode in OverlapMode::ALL {
             let mut types: HashMap<_, u64> = HashMap::new();
             for (c, r, _) in grid.iter() {
-                *types.entry(geo.analyze_tile(mode, &grid, c, r)).or_default() += 1;
+                *types
+                    .entry(geo.analyze_tile(mode, &grid, c, r))
+                    .or_default() += 1;
             }
             rows.push(vec![
                 format!("({tx}, {ty})"),
@@ -37,7 +39,9 @@ fn main() {
             ]);
         }
     }
-    println!("Fig. 6: tile type count per tile size and overlap storing mode (FSRCNN, 960x540 output)\n");
+    println!(
+        "Fig. 6: tile type count per tile size and overlap storing mode (FSRCNN, 960x540 output)\n"
+    );
     println!("{}", table(&header, &rows));
 
     // Detailed per-type counts for the canonical (60, 72) fully-recompute case
@@ -46,7 +50,9 @@ fn main() {
     for mode in OverlapMode::ALL {
         let mut types: HashMap<_, u64> = HashMap::new();
         for (c, r, _) in grid.iter() {
-            *types.entry(geo.analyze_tile(mode, &grid, c, r)).or_default() += 1;
+            *types
+                .entry(geo.analyze_tile(mode, &grid, c, r))
+                .or_default() += 1;
         }
         let mut counts: Vec<u64> = types.values().copied().collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));

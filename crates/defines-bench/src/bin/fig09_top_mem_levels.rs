@@ -36,7 +36,7 @@ fn main() {
             }
         }
     }
-    types.sort_by(|a, b| a.1.cmp(&b.1));
+    types.sort_by_key(|t| t.1);
 
     println!(
         "Fig. 9: top memory level per operand, layer and tile type\n\
@@ -64,8 +64,16 @@ fn main() {
             // The stack's first layer reads the network input from DRAM and the
             // last layer writes the network output back to DRAM, as in the
             // evaluator.
-            let input_top = if rec.external_input_bytes > 0 { p.input.max(dram) } else { p.input };
-            let output_top = if rec.layer == stack.last_layer() { p.output.max(dram) } else { p.output };
+            let input_top = if rec.external_input_bytes > 0 {
+                p.input.max(dram)
+            } else {
+                p.input
+            };
+            let output_top = if rec.layer == stack.last_layer() {
+                p.output.max(dram)
+            } else {
+                p.output
+            };
             rows.push(vec![
                 format!("{}", t + 1),
                 format!("{count}"),

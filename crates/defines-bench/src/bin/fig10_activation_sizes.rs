@@ -21,8 +21,18 @@ fn main() {
     let grid = TileGrid::new(960, 540, TileSize::new(60, 72));
     let mode = OverlapMode::FullyCached;
 
-    let lb = acc.hierarchy().level_named("LB_IO").unwrap().capacity_bytes().unwrap();
-    let gb = acc.hierarchy().level_named("GB_IO").unwrap().capacity_bytes().unwrap();
+    let lb = acc
+        .hierarchy()
+        .level_named("LB_IO")
+        .unwrap()
+        .capacity_bytes()
+        .unwrap();
+    let gb = acc
+        .hierarchy()
+        .level_named("GB_IO")
+        .unwrap()
+        .capacity_bytes()
+        .unwrap();
 
     let mut types: Vec<(defines_core::backcalc::TileAnalysis, u64)> = Vec::new();
     let mut index: HashMap<defines_core::backcalc::TileAnalysis, usize> = HashMap::new();
@@ -38,7 +48,7 @@ fn main() {
     }
     // Most frequent types last, as in the paper (type 2 and 3 are the regime
     // tiles).
-    types.sort_by(|a, b| a.1.cmp(&b.1));
+    types.sort_by_key(|t| t.1);
 
     println!(
         "Fig. 10: per-layer activation data sizes for FSRCNN, tile (60, 72), {mode}\n\
@@ -46,7 +56,15 @@ fn main() {
         lb / 1024,
         gb / 1024
     );
-    let header = ["tile type", "count", "layer", "I (KB)", "O (KB)", "I+O (KB)", "fits"];
+    let header = [
+        "tile type",
+        "count",
+        "layer",
+        "I (KB)",
+        "O (KB)",
+        "I+O (KB)",
+        "fits",
+    ];
     let mut rows = Vec::new();
     for (t, (analysis, count)) in types.iter().enumerate() {
         for rec in &analysis.layers {

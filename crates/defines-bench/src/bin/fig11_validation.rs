@@ -42,7 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // paper, to cancel process/voltage/temperature effects.
     let ref_energy = predictions[2].energy_pj;
 
-    println!("Fig. 11: DeFiNES-rs predictions vs DepFiN-derived reference (synthetic measurement)\n");
+    println!(
+        "Fig. 11: DeFiNES-rs predictions vs DepFiN-derived reference (synthetic measurement)\n"
+    );
     let header = [
         "network",
         "pred latency (Mcyc)",

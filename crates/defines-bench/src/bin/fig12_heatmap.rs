@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 worst_energy = worst_energy.max(cost.energy_mj());
                 worst_latency = worst_latency.max(cost.latency_mcycles());
                 best_latency = best_latency.min(cost.latency_mcycles());
-                if best.map(|(_, _, _, e)| cost.energy_mj() < e).unwrap_or(true) {
+                if best
+                    .map(|(_, _, _, e)| cost.energy_mj() < e)
+                    .unwrap_or(true)
+                {
                     best = Some((mode, tx, ty, cost.energy_mj()));
                 }
                 cells.push(Cell {
@@ -62,8 +65,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             energy_rows.push(energy_row);
             latency_rows.push(latency_row);
         }
-        println!("{}", heatmap(&format!("{mode} - Energy"), &xs, &ys, &energy_rows, "mJ"));
-        println!("{}", heatmap(&format!("{mode} - Latency"), &xs, &ys, &latency_rows, "Mcycles"));
+        println!(
+            "{}",
+            heatmap(&format!("{mode} - Energy"), &xs, &ys, &energy_rows, "mJ")
+        );
+        println!(
+            "{}",
+            heatmap(
+                &format!("{mode} - Latency"),
+                &xs,
+                &ys,
+                &latency_rows,
+                "Mcycles"
+            )
+        );
     }
 
     let (bm, btx, bty, be) = best.expect("at least one cell evaluated");

@@ -13,20 +13,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ctx.model();
     let lbl_macs: u64 = net.layers().iter().map(|l| l.macs()).sum();
 
-    let header = ["tile (Tx,Ty)", "fully-recompute", "H-cached V-recompute", "fully-cached"];
+    let header = [
+        "tile (Tx,Ty)",
+        "fully-recompute",
+        "H-cached V-recompute",
+        "fully-cached",
+    ];
     let mut rows = Vec::new();
     for (tx, ty) in diagonal_tile_sizes() {
         let mut row = vec![format!("({tx}, {ty})")];
         for mode in OverlapMode::ALL {
             let strategy = DfStrategy::depth_first(TileSize::new(tx, ty), mode);
             let cost = model.evaluate_network(&net, &strategy)?;
-            row.push(format!("{:.2}e9 ({:.2}x)", cost.macs as f64 / 1e9, cost.macs as f64 / lbl_macs as f64));
+            row.push(format!(
+                "{:.2}e9 ({:.2}x)",
+                cost.macs as f64 / 1e9,
+                cost.macs as f64 / lbl_macs as f64
+            ));
         }
         rows.push(row);
     }
     println!("Fig. 13: MAC operation count per DF strategy (FSRCNN on Meta-proto-like DF)\n");
     println!("{}", table(&header, &rows));
-    println!("Layer-by-layer MAC count (no recomputation): {:.2}e9", lbl_macs as f64 / 1e9);
+    println!(
+        "Layer-by-layer MAC count (no recomputation): {:.2}e9",
+        lbl_macs as f64 / 1e9
+    );
     println!(
         "Expected shape (paper): fully-cached never recomputes (flat line at the LBL count); the\n\
          recompute modes blow up at small tile sizes, fully-recompute worst of all."

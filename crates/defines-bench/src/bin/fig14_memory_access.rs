@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let groups = ["LB", "GB", "DRAM"];
 
     let mut json_rows = Vec::new();
-    for class in [DataClass::Activation, DataClass::Weight, DataClass::DataCopy] {
+    for class in [
+        DataClass::Activation,
+        DataClass::Weight,
+        DataClass::DataCopy,
+    ] {
         println!(
             "Fig. 14({}) memory access caused by {:?} [GB of traffic]\n",
             match class {

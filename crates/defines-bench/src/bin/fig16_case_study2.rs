@@ -51,8 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let s = fixed_fully_cached(4.min(last.dims.ox), 72.min(last.dims.oy));
             model.evaluate_network(&net, &s)?
         };
-        let best_single =
-            explorer.best_single_strategy(&net, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)?;
+        let best_single = explorer.best_single_strategy(
+            &net,
+            &tiles,
+            &OverlapMode::ALL,
+            OptimizeTarget::Energy,
+        )?;
         let combo =
             explorer.best_combination(&net, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)?;
 
@@ -60,8 +64,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ("single-layer", sl.energy_mj(), sl.latency_mcycles()),
             ("layer-by-layer", lbl.energy_mj(), lbl.latency_mcycles()),
             ("fully-cached 4x72", cs1.energy_mj(), cs1.latency_mcycles()),
-            ("best single", best_single.cost.energy_mj(), best_single.cost.latency_mcycles()),
-            ("best combination", combo.cost.energy_mj(), combo.cost.latency_mcycles()),
+            (
+                "best single",
+                best_single.cost.energy_mj(),
+                best_single.cost.latency_mcycles(),
+            ),
+            (
+                "best combination",
+                combo.cost.energy_mj(),
+                combo.cost.latency_mcycles(),
+            ),
         ] {
             json_rows.push(Row {
                 workload: net.name().to_string(),
@@ -76,7 +88,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.2} mJ", sl.energy_mj()),
             format!("{:.2} mJ", lbl.energy_mj()),
             format!("{:.2} mJ", cs1.energy_mj()),
-            format!("{:.2} mJ ({})", best_single.cost.energy_mj(), best_single.strategy.tile),
+            format!(
+                "{:.2} mJ ({})",
+                best_single.cost.energy_mj(),
+                best_single.strategy.tile
+            ),
             format!("{:.2} mJ", combo.cost.energy_mj()),
             ratio(sl.energy_pj, combo.cost.energy_pj),
         ]);

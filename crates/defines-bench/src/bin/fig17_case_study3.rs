@@ -49,7 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for net in &workloads {
             let tiles = case_study_tile_grid(net);
             let lbl = model.evaluate_network(net, &DfStrategy::layer_by_layer())?;
-            let best = explorer.best_single_strategy(net, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)?;
+            let best = explorer.best_single_strategy(
+                net,
+                &tiles,
+                &OverlapMode::ALL,
+                OptimizeTarget::Energy,
+            )?;
             lbl_e.push(lbl.energy_mj());
             lbl_l.push(lbl.latency_mcycles());
             df_e.push(best.cost.energy_mj());

@@ -37,7 +37,14 @@ fn run_part(
     json: &mut Vec<Row>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Fig. 18({part}) — workload: {} ===\n", workload.name());
-    let header = ["architecture", "scenario", "energy (mJ)", "latency (Mcyc)", "DRAM (MB)", "chosen schedule"];
+    let header = [
+        "architecture",
+        "scenario",
+        "energy (mJ)",
+        "latency (Mcyc)",
+        "DRAM (MB)",
+        "chosen schedule",
+    ];
     let mut rows = Vec::new();
     for acc in [zoo::meta_proto_like_df(), zoo::edge_tpu_like_df()] {
         let ctx = ExperimentContext::for_accelerator(acc);
@@ -69,7 +76,10 @@ fn run_part(
             }
         }
         if let Some(ours) = ours {
-            if let Some(first) = rows.iter().find(|r| r[0] == ctx.accelerator.name() && r[1] != "ours (full model)") {
+            if let Some(first) = rows
+                .iter()
+                .find(|r| r[0] == ctx.accelerator.name() && r[1] != "ours (full model)")
+            {
                 let baseline_energy: f64 = first[2].parse().unwrap_or(f64::NAN);
                 println!(
                     "{}: gain of the full model over '{}': {}",
@@ -91,13 +101,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let resnet = models::resnet18();
     let mut json = Vec::new();
 
-    let parts: Vec<(&str, &Network, Vec<(&str, BaselineKind)>)> = vec![
+    type Part<'a> = (&'a str, &'a Network, Vec<(&'a str, BaselineKind)>);
+    let parts: Vec<Part<'_>> = vec![
         (
             "a",
             &fsrcnn,
             vec![
                 ("single-layer", BaselineKind::SingleLayer),
-                ("DF, optimize DRAM traffic only", BaselineKind::DramTrafficOnly),
+                (
+                    "DF, optimize DRAM traffic only",
+                    BaselineKind::DramTrafficOnly,
+                ),
                 ("ours (full model)", BaselineKind::FullModel),
             ],
         ),
@@ -114,7 +128,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &resnet,
             vec![
                 ("single-layer", BaselineKind::SingleLayer),
-                ("DF, optimize activations only", BaselineKind::ActivationsOnly),
+                (
+                    "DF, optimize activations only",
+                    BaselineKind::ActivationsOnly,
+                ),
                 ("ours (full model)", BaselineKind::FullModel),
             ],
         ),

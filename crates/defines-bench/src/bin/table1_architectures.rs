@@ -10,7 +10,13 @@ use defines_bench::table;
 
 fn main() {
     let header = [
-        "Idx", "HW architecture", "Spatial unrolling (MACs)", "on-chip W", "on-chip I", "on-chip O", "levels",
+        "Idx",
+        "HW architecture",
+        "Spatial unrolling (MACs)",
+        "on-chip W",
+        "on-chip I",
+        "on-chip O",
+        "levels",
     ];
     let mut rows = Vec::new();
     for (i, acc) in zoo::all_case_study_architectures().into_iter().enumerate() {
@@ -19,7 +25,11 @@ fn main() {
         rows.push(vec![
             format!("{}", i + 1),
             acc.name().to_string(),
-            format!("{} ({})", acc.pe_array().unrolling(), acc.pe_array().total_macs()),
+            format!(
+                "{} ({})",
+                acc.pe_array().unrolling(),
+                acc.pe_array().total_macs()
+            ),
             kb(cap.weight_bytes),
             kb(cap.input_bytes),
             kb(cap.output_bytes),

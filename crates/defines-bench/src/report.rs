@@ -80,7 +80,10 @@ pub fn ratio(baseline: f64, improved: f64) -> String {
 /// # Errors
 ///
 /// Returns any I/O or serialization error.
-pub fn write_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> Result<(), Box<dyn std::error::Error>> {
+pub fn write_json<T: Serialize>(
+    path: impl AsRef<Path>,
+    value: &T,
+) -> Result<(), Box<dyn std::error::Error>> {
     let path = path.as_ref();
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
@@ -95,14 +98,23 @@ mod tests {
 
     #[test]
     fn table_aligns_columns() {
-        let t = table(&["name", "value"], &[vec!["a".to_string(), "1".to_string()]]);
+        let t = table(
+            &["name", "value"],
+            &[vec!["a".to_string(), "1".to_string()]],
+        );
         assert!(t.contains("name"));
         assert!(t.lines().count() >= 3);
     }
 
     #[test]
     fn heatmap_contains_all_cells() {
-        let h = heatmap("test", &[1, 2], &[10, 20], &[vec![1.0, 2.0], vec![3.0, 4.0]], "mJ");
+        let h = heatmap(
+            "test",
+            &[1, 2],
+            &[10, 20],
+            &[vec![1.0, 2.0], vec![3.0, 4.0]],
+            "mJ",
+        );
         assert!(h.contains("test"));
         assert!(h.contains("3.0"));
     }

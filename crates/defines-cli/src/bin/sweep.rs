@@ -1,0 +1,286 @@
+//! `sweep` — explore the depth-first scheduling space from the command line.
+//!
+//! Mirrors the upstream DeFiNES artifact's interface and runs on the
+//! parallel exploration engine with mapping memoization and lower-bound
+//! pruning:
+//!
+//! ```text
+//! cargo run --release --bin sweep -- \
+//!     --workload fsrcnn --accelerator meta-proto-df --dfmode 123 --tilex 60 --tiley 72
+//! ```
+//!
+//! Omitting `--tilex`/`--tiley` sweeps the default case-study tile grid.
+//! Results stream as they complete; the best strategy, the single-layer /
+//! layer-by-layer baselines and the engine statistics are printed at the
+//! end, and `--json PATH` dumps everything machine-readable.
+
+use clap::{Arg, ArgAction, Command};
+use defines_cli::{
+    accelerator_by_name, parse_modes, parse_target, tile_grid, workload_by_name, ACCELERATORS,
+    WORKLOADS,
+};
+use defines_core::{DfCostModel, Explorer};
+use defines_engine::{EngineConfig, Outcome};
+use serde::Value;
+
+fn main() {
+    let matches = Command::new("sweep")
+        .about(
+            "DeFiNES depth-first scheduling sweep: evaluates (tile size x overlap mode) design \
+             points on the parallel exploration engine and reports the best strategy.",
+        )
+        .version(env!("CARGO_PKG_VERSION"))
+        .arg(
+            Arg::new("workload")
+                .long("workload")
+                .value_name("NAME")
+                .default_value("fsrcnn")
+                .help(format!("Workload: {}", WORKLOADS.join(", "))),
+        )
+        .arg(
+            Arg::new("accelerator")
+                .long("accelerator")
+                .value_name("NAME")
+                .default_value("meta-proto-df")
+                .help(format!("Accelerator: {}", ACCELERATORS.join(", "))),
+        )
+        .arg(
+            Arg::new("dfmode")
+                .long("dfmode")
+                .value_name("DIGITS")
+                .default_value("123")
+                .help("Overlap modes: 1 fully-recompute, 2 H-cached V-recompute, 3 fully-cached"),
+        )
+        .arg(
+            Arg::new("tilex")
+                .long("tilex")
+                .value_name("LIST")
+                .help("Comma-separated tile widths (with --tiley; omit both for the default grid)"),
+        )
+        .arg(
+            Arg::new("tiley")
+                .long("tiley")
+                .value_name("LIST")
+                .help("Comma-separated tile heights"),
+        )
+        .arg(
+            Arg::new("target")
+                .long("target")
+                .value_name("NAME")
+                .default_value("energy")
+                .help("Optimization target: energy, latency, edp, dram, activation"),
+        )
+        .arg(
+            Arg::new("threads")
+                .long("threads")
+                .value_name("N")
+                .default_value("0")
+                .help("Engine worker threads (0 = one per core)"),
+        )
+        .arg(
+            Arg::new("no-prune")
+                .long("no-prune")
+                .action(ArgAction::SetTrue)
+                .help("Disable lower-bound pruning (evaluate every design point)"),
+        )
+        .arg(
+            Arg::new("full-mapper")
+                .long("full-mapper")
+                .action(ArgAction::SetTrue)
+                .help("Use the exhaustive temporal-mapping search instead of the fast one"),
+        )
+        .arg(
+            Arg::new("json")
+                .long("json")
+                .value_name("PATH")
+                .help("Write the sweep records, best strategy and statistics as JSON"),
+        )
+        .arg(
+            Arg::new("quiet")
+                .long("quiet")
+                .short('q')
+                .action(ArgAction::SetTrue)
+                .help("Suppress per-point streaming output"),
+        )
+        .get_matches();
+
+    if let Err(message) = run(&matches) {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run(matches: &clap::ArgMatches) -> Result<(), String> {
+    let net = workload_by_name(matches.value_of("workload").unwrap())?;
+    let acc = accelerator_by_name(matches.value_of("accelerator").unwrap())?;
+    let modes = parse_modes(matches.value_of("dfmode").unwrap())?;
+    let grid = tile_grid(&net, matches.value_of("tilex"), matches.value_of("tiley"))?;
+    let target = parse_target(matches.value_of("target").unwrap())?;
+    let threads: usize = matches
+        .value_of("threads")
+        .unwrap()
+        .parse()
+        .map_err(|_| "--threads expects a non-negative integer".to_string())?;
+    let quiet = matches.get_flag("quiet");
+
+    let mut model = DfCostModel::new(&acc);
+    if !matches.get_flag("full-mapper") {
+        model = model.with_fast_mapper();
+    }
+
+    let mut config = EngineConfig::parallel().with_pruning(!matches.get_flag("no-prune"));
+    if threads > 0 {
+        config = config.with_threads(threads);
+    }
+    let explorer = Explorer::new(&model).with_engine_config(config);
+
+    let total = grid.len() * modes.len();
+    println!(
+        "sweeping {total} design points ({} tiles x {} modes) of {} on {} | target: {target} | \
+         {} engine threads, pruning {}",
+        grid.len(),
+        modes.len(),
+        net.name(),
+        acc.name(),
+        explorer.engine_config().threads,
+        if explorer.engine_config().prune {
+            "on"
+        } else {
+            "off"
+        },
+    );
+
+    let width = total.to_string().len();
+    let mut done = 0usize;
+    let mut record_rows: Vec<Value> = Vec::new();
+    // The best evaluated record, tracked in-stream: minimal value, ties
+    // broken by submission index — the same arg-min `best_single_strategy`
+    // computes, without re-running the sweep (a pruned point can never beat
+    // or tie an evaluated one).
+    let mut best: Option<(f64, usize, defines_core::DfSweepRecord)> = None;
+    let stats = explorer
+        .sweep_streaming(&net, &grid, &modes, target, |record| {
+            done += 1;
+            let row = match &record.outcome {
+                Outcome::Evaluated { value, .. } => {
+                    let better = match &best {
+                        None => true,
+                        Some((bv, bi, _)) => *value < *bv || (*value == *bv && record.index < *bi),
+                    };
+                    if better {
+                        best = Some((*value, record.index, record.clone()));
+                    }
+                    if !quiet {
+                        println!(
+                            "[{done:>width$}/{total}] {}  {target} {value:.4e}{}",
+                            record.point,
+                            if record.is_best_so_far {
+                                "  <- best so far"
+                            } else {
+                                ""
+                            },
+                        );
+                    }
+                    Value::Object(vec![
+                        ("index".into(), Value::U64(record.index as u64)),
+                        ("strategy".into(), Value::Str(record.point.to_string())),
+                        ("value".into(), Value::F64(*value)),
+                        ("pruned".into(), Value::Bool(false)),
+                    ])
+                }
+                Outcome::Pruned { lower_bound } => {
+                    if !quiet {
+                        println!(
+                            "[{done:>width$}/{total}] {}  pruned (lower bound {lower_bound:.4e})",
+                            record.point,
+                        );
+                    }
+                    Value::Object(vec![
+                        ("index".into(), Value::U64(record.index as u64)),
+                        ("strategy".into(), Value::Str(record.point.to_string())),
+                        ("lower_bound".into(), Value::F64(*lower_bound)),
+                        ("pruned".into(), Value::Bool(true)),
+                    ])
+                }
+            };
+            record_rows.push(row);
+        })
+        .map_err(|e| e.to_string())?;
+
+    let (best_value, _, best) = best.ok_or("the sweep evaluated no design points")?;
+    let best_cost = best
+        .cost()
+        .expect("tracked best is always evaluated")
+        .clone();
+    let best_strategy = best.point;
+    let (sl, lbl) = explorer.baselines(&net).map_err(|e| e.to_string())?;
+    let (sl_value, lbl_value) = (target.value(&sl, &acc), target.value(&lbl, &acc));
+
+    println!();
+    println!("best strategy   : {best_strategy}");
+    println!(
+        "  {target}: {best_value:.4e}  (energy {:.3} mJ, latency {:.3} Mcycles)",
+        best_cost.energy_mj(),
+        best_cost.latency_mcycles()
+    );
+    println!(
+        "single-layer    : {target} {sl_value:.4e}  ({:.2}x of best)",
+        sl_value / best_value
+    );
+    println!(
+        "layer-by-layer  : {target} {lbl_value:.4e}  ({:.2}x of best)",
+        lbl_value / best_value
+    );
+    let cache = model.mapping_cache().stats();
+    println!(
+        "engine          : {} evaluated, {} pruned in {:.1} ms on {} threads",
+        stats.evaluated,
+        stats.pruned,
+        stats.elapsed.as_secs_f64() * 1e3,
+        stats.threads
+    );
+    println!(
+        "mapping cache   : {} sub-problems, {} hits / {} misses ({:.1}% hit rate)",
+        cache.entries,
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0
+    );
+
+    if let Some(path) = matches.value_of("json") {
+        let doc = Value::Object(vec![
+            ("workload".into(), Value::Str(net.name().to_string())),
+            ("accelerator".into(), Value::Str(acc.name().to_string())),
+            ("target".into(), Value::Str(target.to_string())),
+            (
+                "best".into(),
+                Value::Object(vec![
+                    ("strategy".into(), Value::Str(best_strategy.to_string())),
+                    ("value".into(), Value::F64(best_value)),
+                    ("energy_pj".into(), Value::F64(best_cost.energy_pj)),
+                    (
+                        "latency_cycles".into(),
+                        Value::F64(best_cost.latency_cycles),
+                    ),
+                ]),
+            ),
+            ("single_layer_value".into(), Value::F64(sl_value)),
+            ("layer_by_layer_value".into(), Value::F64(lbl_value)),
+            ("stats".into(), serde::Serialize::to_value(&stats)),
+            (
+                "cache".into(),
+                Value::Object(vec![
+                    ("entries".into(), Value::U64(cache.entries as u64)),
+                    ("hits".into(), Value::U64(cache.hits)),
+                    ("misses".into(), Value::U64(cache.misses)),
+                    ("hit_rate".into(), Value::F64(cache.hit_rate())),
+                ]),
+            ),
+            ("records".into(), Value::Array(record_rows)),
+        ]);
+        std::fs::write(path, doc.to_json_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote JSON report to {path}");
+    }
+    Ok(())
+}

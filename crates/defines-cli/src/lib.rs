@@ -1,0 +1,234 @@
+//! Shared plumbing for the DeFiNES command-line tools: name → object lookup
+//! for workloads and accelerators, and parsers for the sweep flags
+//! (`--dfmode` digits, tile-size lists).
+//!
+//! The flag names mirror the upstream DeFiNES artifact's interface
+//! (`--workload`, `--accelerator`, `--dfmode`, `--tilex`, `--tiley`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use defines_arch::{zoo, Accelerator};
+use defines_core::{Explorer, OptimizeTarget, OverlapMode};
+use defines_workload::{models, Network};
+
+/// The workloads selectable by `--workload`.
+pub const WORKLOADS: [&str; 6] = [
+    "fsrcnn",
+    "dmcnn-vd",
+    "mccnn",
+    "mobilenet-v1",
+    "resnet18",
+    "reference",
+];
+
+/// The accelerators selectable by `--accelerator`.
+pub const ACCELERATORS: [&str; 11] = [
+    "meta-proto",
+    "meta-proto-df",
+    "tpu",
+    "tpu-df",
+    "edge-tpu",
+    "edge-tpu-df",
+    "ascend",
+    "ascend-df",
+    "tesla-npu",
+    "tesla-npu-df",
+    "depfin",
+];
+
+/// Looks a workload up by its `--workload` name.
+///
+/// # Errors
+///
+/// Returns a message listing the valid names for an unknown workload.
+pub fn workload_by_name(name: &str) -> Result<Network, String> {
+    match name {
+        "fsrcnn" => Ok(models::fsrcnn()),
+        "dmcnn-vd" => Ok(models::dmcnn_vd()),
+        "mccnn" => Ok(models::mccnn()),
+        "mobilenet-v1" => Ok(models::mobilenet_v1()),
+        "resnet18" => Ok(models::resnet18()),
+        "reference" => Ok(models::reference_net()),
+        other => Err(format!(
+            "unknown workload '{other}' (expected one of: {})",
+            WORKLOADS.join(", ")
+        )),
+    }
+}
+
+/// Looks an accelerator up by its `--accelerator` name.
+///
+/// # Errors
+///
+/// Returns a message listing the valid names for an unknown accelerator.
+pub fn accelerator_by_name(name: &str) -> Result<Accelerator, String> {
+    match name {
+        "meta-proto" => Ok(zoo::meta_proto_like()),
+        "meta-proto-df" => Ok(zoo::meta_proto_like_df()),
+        "tpu" => Ok(zoo::tpu_like()),
+        "tpu-df" => Ok(zoo::tpu_like_df()),
+        "edge-tpu" => Ok(zoo::edge_tpu_like()),
+        "edge-tpu-df" => Ok(zoo::edge_tpu_like_df()),
+        "ascend" => Ok(zoo::ascend_like()),
+        "ascend-df" => Ok(zoo::ascend_like_df()),
+        "tesla-npu" => Ok(zoo::tesla_npu_like()),
+        "tesla-npu-df" => Ok(zoo::tesla_npu_like_df()),
+        "depfin" => Ok(zoo::depfin_like()),
+        other => Err(format!(
+            "unknown accelerator '{other}' (expected one of: {})",
+            ACCELERATORS.join(", ")
+        )),
+    }
+}
+
+/// Parses the `--dfmode` digit string: each digit selects one overlap
+/// storing mode (`1` fully-recompute, `2` H-cached V-recompute, `3`
+/// fully-cached), in the paper's order. `123` selects all three.
+///
+/// # Errors
+///
+/// Returns a message for empty input or characters outside `1`-`3`.
+pub fn parse_modes(dfmode: &str) -> Result<Vec<OverlapMode>, String> {
+    if dfmode.is_empty() {
+        return Err("--dfmode needs at least one digit out of 1, 2, 3".into());
+    }
+    let mut modes = Vec::new();
+    for c in dfmode.chars() {
+        let mode = match c {
+            '1' => OverlapMode::FullyRecompute,
+            '2' => OverlapMode::HCachedVRecompute,
+            '3' => OverlapMode::FullyCached,
+            other => {
+                return Err(format!(
+                    "invalid --dfmode digit '{other}' (1 = fully-recompute, 2 = H-cached \
+                     V-recompute, 3 = fully-cached)"
+                ))
+            }
+        };
+        if !modes.contains(&mode) {
+            modes.push(mode);
+        }
+    }
+    Ok(modes)
+}
+
+/// Parses a comma-separated list of positive tile extents (`"60"` or
+/// `"1,4,60"`).
+///
+/// # Errors
+///
+/// Returns a message for empty, zero or non-numeric entries.
+pub fn parse_tile_axis(flag: &str, input: &str) -> Result<Vec<u64>, String> {
+    let mut out = Vec::new();
+    for part in input.split(',') {
+        let v: u64 = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid {flag} entry '{part}': expected a positive integer"))?;
+        if v == 0 {
+            return Err(format!("{flag} entries must be positive"));
+        }
+        out.push(v);
+    }
+    if out.is_empty() {
+        return Err(format!("{flag} needs at least one entry"));
+    }
+    Ok(out)
+}
+
+/// The tile grid of a sweep: the cross product of the `--tilex` / `--tiley`
+/// lists, or the explorer's default grid when both are omitted.
+///
+/// # Errors
+///
+/// Returns a parse error, or an error if only one axis is given.
+pub fn tile_grid(
+    net: &Network,
+    tilex: Option<&str>,
+    tiley: Option<&str>,
+) -> Result<Vec<(u64, u64)>, String> {
+    match (tilex, tiley) {
+        (None, None) => Ok(Explorer::default_tile_grid(net)),
+        (Some(xs), Some(ys)) => {
+            let xs = parse_tile_axis("--tilex", xs)?;
+            let ys = parse_tile_axis("--tiley", ys)?;
+            let mut grid = Vec::with_capacity(xs.len() * ys.len());
+            for &ty in &ys {
+                for &tx in &xs {
+                    grid.push((tx, ty));
+                }
+            }
+            Ok(grid)
+        }
+        _ => Err(
+            "--tilex and --tiley must be given together (or both omitted for the default grid)"
+                .into(),
+        ),
+    }
+}
+
+/// Parses the `--target` name.
+///
+/// # Errors
+///
+/// Returns a message listing the valid names for an unknown target.
+pub fn parse_target(name: &str) -> Result<OptimizeTarget, String> {
+    match name {
+        "energy" => Ok(OptimizeTarget::Energy),
+        "latency" => Ok(OptimizeTarget::Latency),
+        "edp" => Ok(OptimizeTarget::Edp),
+        "dram" => Ok(OptimizeTarget::DramAccess),
+        "activation" => Ok(OptimizeTarget::ActivationEnergy),
+        other => Err(format!(
+            "unknown target '{other}' (expected one of: energy, latency, edp, dram, activation)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_workload_and_accelerator_resolves() {
+        for w in WORKLOADS {
+            assert!(workload_by_name(w).is_ok(), "{w}");
+        }
+        for a in ACCELERATORS {
+            assert!(accelerator_by_name(a).is_ok(), "{a}");
+        }
+        assert!(workload_by_name("nope").is_err());
+        assert!(accelerator_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn dfmode_digits_map_to_modes() {
+        assert_eq!(parse_modes("123").unwrap(), OverlapMode::ALL.to_vec());
+        assert_eq!(parse_modes("3").unwrap(), vec![OverlapMode::FullyCached]);
+        assert_eq!(
+            parse_modes("331").unwrap(),
+            vec![OverlapMode::FullyCached, OverlapMode::FullyRecompute]
+        );
+        assert!(parse_modes("4").is_err());
+        assert!(parse_modes("").is_err());
+    }
+
+    #[test]
+    fn tile_grids_cross_lists() {
+        let net = defines_workload::models::fsrcnn();
+        let grid = tile_grid(&net, Some("1,60"), Some("72")).unwrap();
+        assert_eq!(grid, vec![(1, 72), (60, 72)]);
+        assert_eq!(tile_grid(&net, None, None).unwrap().len(), 36);
+        assert!(tile_grid(&net, Some("60"), None).is_err());
+        assert!(tile_grid(&net, Some("0"), Some("1")).is_err());
+        assert!(tile_grid(&net, Some("x"), Some("1")).is_err());
+    }
+
+    #[test]
+    fn targets_parse() {
+        assert_eq!(parse_target("energy").unwrap(), OptimizeTarget::Energy);
+        assert_eq!(parse_target("edp").unwrap(), OptimizeTarget::Edp);
+        assert!(parse_target("speed").is_err());
+    }
+}

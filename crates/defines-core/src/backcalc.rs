@@ -202,7 +202,13 @@ impl<'a> StackGeometry<'a> {
     /// the left neighbour (H-cached modes) and the row above (fully-cached
     /// mode) have already produced, and the sizes of fresh / cached input data
     /// are accounted.
-    pub fn analyze_tile(&self, mode: OverlapMode, grid: &TileGrid, col: u64, row: u64) -> TileAnalysis {
+    pub fn analyze_tile(
+        &self,
+        mode: OverlapMode,
+        grid: &TileGrid,
+        col: u64,
+        row: u64,
+    ) -> TileAnalysis {
         let tile_rect = grid.tile_rect(col, row);
         let left_edges = if mode.caches_horizontal() && col > 0 {
             Some(self.edge_projection(grid.tile_rect(col - 1, row)))
@@ -273,8 +279,13 @@ impl<'a> StackGeometry<'a> {
 
             for &fm in &self.inputs_of[&lid] {
                 let fd = self.fm_dims[&fm];
-                let in_rect = project_to_input(&tc, (d.stride_x, d.stride_y), (d.fx, d.fy), (d.pad_x, d.pad_y))
-                    .clamp_to(fd.width, fd.height);
+                let in_rect = project_to_input(
+                    &tc,
+                    (d.stride_x, d.stride_y),
+                    (d.fx, d.fy),
+                    (d.pad_x, d.pad_y),
+                )
+                .clamp_to(fd.width, fd.height);
                 if in_rect.is_empty() {
                     continue;
                 }
@@ -296,10 +307,17 @@ impl<'a> StackGeometry<'a> {
                 let area = in_rect.area();
                 // Split the needed input into vertically cached rows, then
                 // horizontally cached columns, then fresh data.
-                let va = left_above_split(&in_rect, above_edges.as_ref().and_then(|m| m.get(&fm).map(|&(_, y1)| y1)));
+                let va = left_above_split(
+                    &in_rect,
+                    above_edges
+                        .as_ref()
+                        .and_then(|m| m.get(&fm).map(|&(_, y1)| y1)),
+                );
                 let ha = left_above_split_h(
                     &in_rect,
-                    left_edges.as_ref().and_then(|m| m.get(&fm).map(|&(x1, _)| x1)),
+                    left_edges
+                        .as_ref()
+                        .and_then(|m| m.get(&fm).map(|&(x1, _)| x1)),
                     va.0,
                 );
                 let v_area = va.1;
@@ -340,7 +358,10 @@ impl<'a> StackGeometry<'a> {
         let mut cache_v_bytes = 0u64;
         for (fm, rect) in &needed {
             let fd = self.fm_dims[fm];
-            let (cw, ch) = core.get(fm).copied().unwrap_or((rect.width(), rect.height()));
+            let (cw, ch) = core
+                .get(fm)
+                .copied()
+                .unwrap_or((rect.width(), rect.height()));
             let per_pixel = fd.channels * fd.bytes_per_element;
             if mode.caches_horizontal() {
                 let halo_w = rect.width().saturating_sub(cw);
@@ -382,8 +403,10 @@ impl<'a> StackGeometry<'a> {
             let d = &layer.dims;
             for &fm in &self.inputs_of[&lid] {
                 let fd = self.fm_dims[&fm];
-                let ix1 = (tx1 * d.stride_x as i64 - d.pad_x as i64 + d.fx as i64 - 1).min(fd.width as i64 - 1);
-                let iy1 = (ty1 * d.stride_y as i64 - d.pad_y as i64 + d.fy as i64 - 1).min(fd.height as i64 - 1);
+                let ix1 = (tx1 * d.stride_x as i64 - d.pad_x as i64 + d.fx as i64 - 1)
+                    .min(fd.width as i64 - 1);
+                let iy1 = (ty1 * d.stride_y as i64 - d.pad_y as i64 + d.fy as i64 - 1)
+                    .min(fd.height as i64 - 1);
                 edges
                     .entry(fm)
                     .and_modify(|e| *e = (e.0.max(ix1), e.1.max(iy1)))
@@ -429,13 +452,22 @@ mod tests {
         // The workload of Fig. 2(a): three 3x3 convolutions, output 4x4.
         let mut net = Network::new("fig2");
         let l1 = net
-            .add_layer(Layer::new("l1", OpType::Conv, LayerDims::conv(3, 1, 8, 8, 3, 3)), &[])
+            .add_layer(
+                Layer::new("l1", OpType::Conv, LayerDims::conv(3, 1, 8, 8, 3, 3)),
+                &[],
+            )
             .unwrap();
         let l2 = net
-            .add_layer(Layer::new("l2", OpType::Conv, LayerDims::conv(6, 3, 6, 6, 3, 3)), &[l1])
+            .add_layer(
+                Layer::new("l2", OpType::Conv, LayerDims::conv(6, 3, 6, 6, 3, 3)),
+                &[l1],
+            )
             .unwrap();
         let _l3 = net
-            .add_layer(Layer::new("l3", OpType::Conv, LayerDims::conv(9, 6, 4, 4, 3, 3)), &[l2])
+            .add_layer(
+                Layer::new("l3", OpType::Conv, LayerDims::conv(9, 6, 4, 4, 3, 3)),
+                &[l2],
+            )
             .unwrap();
         net
     }
@@ -461,8 +493,11 @@ mod tests {
         assert_eq!(a.layers[0].cached_h_input_bytes, 0);
         assert_eq!(a.cache_v_bytes, 0);
         // The first layer's input is external (the 10x10 network input).
-        assert_eq!(a.layers[0].external_input_bytes, a.layers[0].fresh_input_bytes);
-        assert_eq!(a.layers[0].input_bytes, 10 * 10 * 1);
+        assert_eq!(
+            a.layers[0].external_input_bytes,
+            a.layers[0].fresh_input_bytes
+        );
+        assert_eq!(a.layers[0].input_bytes, 10 * 10);
     }
 
     #[test]
@@ -530,8 +565,18 @@ mod tests {
             }
             totals.push(total);
         }
-        assert!(totals[0] >= totals[1], "recompute {} >= h-cached {}", totals[0], totals[1]);
-        assert!(totals[1] >= totals[2], "h-cached {} >= fully-cached {}", totals[1], totals[2]);
+        assert!(
+            totals[0] >= totals[1],
+            "recompute {} >= h-cached {}",
+            totals[0],
+            totals[1]
+        );
+        assert!(
+            totals[1] >= totals[2],
+            "h-cached {} >= fully-cached {}",
+            totals[1],
+            totals[2]
+        );
         // Fully cached does not recompute anything: its MAC count equals the
         // layer-by-layer MAC count.
         let lbl: u64 = net.layers().iter().map(|l| l.macs()).sum();

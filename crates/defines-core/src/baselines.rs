@@ -208,7 +208,14 @@ mod tests {
         let acc = zoo::meta_proto_like_df();
         let model = DfCostModel::new(&acc).with_fast_mapper();
         let net = small_net();
-        let full = run_baseline(&model, &net, BaselineKind::FullModel, &TILES, &OverlapMode::ALL).unwrap();
+        let full = run_baseline(
+            &model,
+            &net,
+            BaselineKind::FullModel,
+            &TILES,
+            &OverlapMode::ALL,
+        )
+        .unwrap();
         for kind in [
             BaselineKind::SingleLayer,
             BaselineKind::DramTrafficOnly,
@@ -230,9 +237,22 @@ mod tests {
         let acc = zoo::meta_proto_like_df();
         let model = DfCostModel::new(&acc).with_fast_mapper();
         let net = small_net();
-        let dram_only =
-            run_baseline(&model, &net, BaselineKind::DramTrafficOnly, &TILES, &OverlapMode::ALL).unwrap();
-        let sl = run_baseline(&model, &net, BaselineKind::SingleLayer, &TILES, &OverlapMode::ALL).unwrap();
+        let dram_only = run_baseline(
+            &model,
+            &net,
+            BaselineKind::DramTrafficOnly,
+            &TILES,
+            &OverlapMode::ALL,
+        )
+        .unwrap();
+        let sl = run_baseline(
+            &model,
+            &net,
+            BaselineKind::SingleLayer,
+            &TILES,
+            &OverlapMode::ALL,
+        )
+        .unwrap();
         assert!(
             dram_only.cost.dram_traffic_bytes(&acc) <= sl.cost.dram_traffic_bytes(&acc),
             "DRAM-only optimization must reduce DRAM traffic vs single-layer"
@@ -244,9 +264,22 @@ mod tests {
         let acc = zoo::meta_proto_like_df();
         let model = DfCostModel::new(&acc).with_fast_mapper();
         let net = small_net();
-        let lat =
-            run_baseline(&model, &net, BaselineKind::LatencyOptimized, &TILES, &OverlapMode::ALL).unwrap();
-        let full = run_baseline(&model, &net, BaselineKind::FullModel, &TILES, &OverlapMode::ALL).unwrap();
+        let lat = run_baseline(
+            &model,
+            &net,
+            BaselineKind::LatencyOptimized,
+            &TILES,
+            &OverlapMode::ALL,
+        )
+        .unwrap();
+        let full = run_baseline(
+            &model,
+            &net,
+            BaselineKind::FullModel,
+            &TILES,
+            &OverlapMode::ALL,
+        )
+        .unwrap();
         assert!(lat.cost.latency_cycles <= full.cost.latency_cycles + 1e-6);
     }
 

@@ -10,11 +10,10 @@ use crate::strategy::{BetweenStackMemory, DfStrategy, OverlapMode, TileSize};
 use crate::tiling::TileGrid;
 use defines_arch::{Accelerator, MemoryLevelId, Operand};
 use defines_mapping::{
-    AccessBreakdown, LayerCost, LomaMapper, MapperConfig, Objective, OperandTopLevels,
-    SingleLayerProblem,
+    AccessBreakdown, LayerCost, LomaMapper, MapperConfig, MappingCache, Objective,
+    OperandTopLevels, SingleLayerProblem,
 };
-use defines_workload::{LayerDims, LayerId, Network, OpType};
-use parking_lot::Mutex;
+use defines_workload::{LayerDims, LayerId, Network};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
@@ -39,27 +38,21 @@ impl fmt::Display for EvaluationError {
 
 impl std::error::Error for EvaluationError {}
 
-/// Memoization key of a single-layer evaluation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct LayerEvalKey {
-    dims: LayerDims,
-    op: OpType,
-    act_bits: u32,
-    weight_bits: u32,
-    tops: OperandTopLevels,
-}
-
 /// The DeFiNES unified analytical cost model for one accelerator.
 ///
 /// The model is deterministic: evaluating the same workload and strategy twice
-/// yields identical results. Single-layer evaluations are memoized internally,
-/// which is what makes sweeps over many tile sizes fast (identical layer-tile
-/// problems re-use their mapping and cost).
+/// yields identical results. Single-layer evaluations are memoized through a
+/// [`MappingCache`], which is what makes sweeps over many tile sizes fast
+/// (identical layer-tile problems re-use their mapping and cost). By default
+/// each model owns a private cache; [`DfCostModel::with_shared_cache`] plugs
+/// in a shared one so sweeps, explorers and even models for *different*
+/// accelerators reuse each other's mapping work (the cache key includes the
+/// accelerator fingerprint).
 pub struct DfCostModel<'a> {
     acc: &'a Accelerator,
     mapper: LomaMapper,
     policy: PlacementPolicy,
-    cache: Mutex<HashMap<LayerEvalKey, LayerCost>>,
+    cache: MappingCache,
 }
 
 impl<'a> fmt::Debug for DfCostModel<'a> {
@@ -80,13 +73,26 @@ impl<'a> DfCostModel<'a> {
             acc,
             mapper: LomaMapper::default(),
             policy: PlacementPolicy::default(),
-            cache: Mutex::new(HashMap::new()),
+            cache: MappingCache::new(),
         }
     }
 
     /// The accelerator under evaluation.
     pub fn accelerator(&self) -> &Accelerator {
         self.acc
+    }
+
+    /// Uses a shared mapping-memoization cache instead of the model's private
+    /// one. All models holding a clone of the same [`MappingCache`] reuse each
+    /// other's single-layer mapping results.
+    pub fn with_shared_cache(mut self, cache: MappingCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The mapping cache this model memoizes single-layer evaluations in.
+    pub fn mapping_cache(&self) -> &MappingCache {
+        &self.cache
     }
 
     /// Uses a reduced mapper search (the `loma_lpf_limit`-style speed knob).
@@ -169,40 +175,12 @@ impl<'a> DfCostModel<'a> {
     ) -> StackCost {
         let sink = net.layer(stack.last_layer());
         let grid = TileGrid::new(sink.dims.ox, sink.dims.oy, tile);
-        let geometry = StackGeometry::new(net, stack);
         let stack_weight_bytes = stack.weight_bytes(net);
 
-        // Step 1: identify tile types. Tiles are first grouped by a
-        // conservative geometric signature (distance to the feature-map edges
-        // in tile units, clamped at the stack's halo) so only one
-        // representative per group needs the full back-calculation; the
-        // resulting analyses are then deduplicated exactly.
-        let (halo_x, halo_y) = geometry.max_halo();
-        let (tx, ty) = grid.tile_size();
-        let class_x = halo_x / tx + 2;
-        let class_y = halo_y / ty + 2;
-        let cols = grid.cols();
-        let rows = grid.rows();
-        let mut signature_groups: BTreeMap<(u64, u64, u64, u64, bool), (u64, u64, u64)> = BTreeMap::new();
-        for row in 0..rows {
-            for col in 0..cols {
-                let sig = (
-                    col.min(class_x),
-                    (cols - 1 - col).min(class_x),
-                    row.min(class_y),
-                    (rows - 1 - row).min(class_y),
-                    col == 0 && row == 0,
-                );
-                let entry = signature_groups.entry(sig).or_insert((col, row, 0));
-                entry.2 += 1;
-            }
-        }
-
-        // Steps 2–5 per unique tile type.
+        // Steps 2–5 per unique tile type (step 1 identifies the types).
         let mut type_costs: Vec<TileTypeCost> = Vec::new();
         let mut analysis_index: HashMap<TileAnalysis, usize> = HashMap::new();
-        for (_sig, (col, row, count)) in signature_groups {
-            let analysis = geometry.analyze_tile(mode, &grid, col, row);
+        for (analysis, count) in tile_type_analyses(net, stack, tile, mode) {
             if let Some(&idx) = analysis_index.get(&analysis) {
                 type_costs[idx].count += count;
                 continue;
@@ -328,7 +306,12 @@ impl<'a> DfCostModel<'a> {
                     input_top,
                     Operand::Input,
                 ));
-                actions.push(DataCopyAction::new(internal_fresh, producer_level, input_top, Operand::Input));
+                actions.push(DataCopyAction::new(
+                    internal_fresh,
+                    producer_level,
+                    input_top,
+                    Operand::Input,
+                ));
             }
             if let Some(cache_h) = placement.cache_h {
                 if rec.cached_h_input_bytes > 0 {
@@ -341,7 +324,12 @@ impl<'a> DfCostModel<'a> {
                         Operand::Output,
                     ));
                     if input_top != dram {
-                        actions.push(DataCopyAction::new(rec.cached_h_input_bytes, cache_h, input_top, Operand::Input));
+                        actions.push(DataCopyAction::new(
+                            rec.cached_h_input_bytes,
+                            cache_h,
+                            input_top,
+                            Operand::Input,
+                        ));
                     }
                 }
             }
@@ -354,7 +342,12 @@ impl<'a> DfCostModel<'a> {
                         Operand::Output,
                     ));
                     if input_top != dram {
-                        actions.push(DataCopyAction::new(rec.cached_v_input_bytes, cache_v, input_top, Operand::Input));
+                        actions.push(DataCopyAction::new(
+                            rec.cached_v_input_bytes,
+                            cache_v,
+                            input_top,
+                            Operand::Input,
+                        ));
                     }
                 }
             }
@@ -395,7 +388,13 @@ impl<'a> DfCostModel<'a> {
             output_levels.insert(rec.layer, output_top);
         }
 
-        let summary = energy_summary(self.acc, mac_energy, &activation_access, &weight_access, &copy_access);
+        let summary = energy_summary(
+            self.acc,
+            mac_energy,
+            &activation_access,
+            &weight_access,
+            &copy_access,
+        );
         let _ = copy_energy_total;
 
         TileTypeCost {
@@ -411,27 +410,15 @@ impl<'a> DfCostModel<'a> {
         }
     }
 
-    /// Memoized single-layer evaluation.
+    /// Memoized single-layer evaluation through the mapping cache.
     fn evaluate_layer_tile(
         &self,
         layer: &defines_workload::Layer,
         dims: LayerDims,
         tops: OperandTopLevels,
     ) -> LayerCost {
-        let key = LayerEvalKey {
-            dims,
-            op: layer.op,
-            act_bits: layer.act_bits,
-            weight_bits: layer.weight_bits,
-            tops,
-        };
-        if let Some(hit) = self.cache.lock().get(&key) {
-            return hit.clone();
-        }
         let problem = SingleLayerProblem::for_tile(self.acc, layer, dims, tops);
-        let cost = self.mapper.optimize(&problem);
-        self.cache.lock().insert(key, cost.clone());
-        cost
+        self.cache.optimize(&self.mapper, &problem)
     }
 
     /// The memory level the stack's external inputs reside in.
@@ -474,10 +461,7 @@ impl<'a> DfCostModel<'a> {
     ) -> MemoryLevelId {
         let dram = self.acc.hierarchy().dram_id();
         let sink = stack.last_layer();
-        let consumed_outside = net
-            .successors(sink)
-            .iter()
-            .any(|s| !stack.contains(*s));
+        let consumed_outside = net.successors(sink).iter().any(|s| !stack.contains(*s));
         let is_network_sink = net.successors(sink).is_empty();
         if is_network_sink || policy == BetweenStackMemory::Dram {
             return dram;
@@ -495,7 +479,74 @@ impl<'a> DfCostModel<'a> {
     }
 }
 
-fn validate_stacks(net: &Network, stacks: &[Stack]) -> Result<(), EvaluationError> {
+/// Step 1 of the cost model: identify tile types.
+///
+/// Tiles are grouped by a conservative geometric signature (distance to the
+/// feature-map edges in tile units, clamped at the stack's halo) so only one
+/// representative per group needs the full back-calculation. Returns one
+/// `(analysis, tile count)` pair per signature group, in deterministic
+/// (signature) order; callers deduplicate exact analysis matches.
+///
+/// This is also the basis of the cheap MAC lower bounds used by the
+/// exploration engine's pruning ([`crate::bounds`]): summing
+/// `analysis.total_macs() × count` prices a design point's compute without
+/// running placement, data-copy or mapping steps.
+pub(crate) fn tile_type_analyses(
+    net: &Network,
+    stack: &Stack,
+    tile: TileSize,
+    mode: OverlapMode,
+) -> Vec<(TileAnalysis, u64)> {
+    let sink = net.layer(stack.last_layer());
+    let grid = TileGrid::new(sink.dims.ox, sink.dims.oy, tile);
+    let geometry = StackGeometry::new(net, stack);
+    let (halo_x, halo_y) = geometry.max_halo();
+    let (tx, ty) = grid.tile_size();
+    let class_x = halo_x / tx + 2;
+    let class_y = halo_y / ty + 2;
+    let cols = grid.cols();
+    let rows = grid.rows();
+
+    // The signature factorizes per axis: the x-part depends only on the
+    // column, the y-part only on the row. Classifying each axis separately
+    // and combining the counts is O(cols + rows) instead of the O(cols ×
+    // rows) of scanning every tile — the difference between microseconds and
+    // hundreds of milliseconds for single-pixel tiles on HD feature maps.
+    // `(0, 0)` is the only tile whose axis classes both start at zero, so the
+    // `is_first_tile` marker never splits a combined group.
+    // One axis class: ((near-edge distance, far-edge distance), (first tile
+    // index of the class, number of tiles in the class)).
+    type AxisClass = ((u64, u64), (u64, u64));
+    let classify_axis = |extent: u64, clamp: u64| -> Vec<AxisClass> {
+        let mut classes: BTreeMap<(u64, u64), (u64, u64)> = BTreeMap::new();
+        for i in 0..extent {
+            let sig = (i.min(clamp), (extent - 1 - i).min(clamp));
+            let entry = classes.entry(sig).or_insert((i, 0));
+            entry.1 += 1;
+        }
+        classes.into_iter().collect()
+    };
+    let col_classes = classify_axis(cols, class_x);
+    let row_classes = classify_axis(rows, class_y);
+
+    // Signature key (x near, x far, y near, y far, is-first-tile) →
+    // (representative col, representative row, tile count).
+    type Signature = (u64, u64, u64, u64, bool);
+    let mut signature_groups: BTreeMap<Signature, (u64, u64, u64)> = BTreeMap::new();
+    for &((ry, rys), (row, row_count)) in &row_classes {
+        for &((rx, rxs), (col, col_count)) in &col_classes {
+            let count = col_count * row_count;
+            let first = col == 0 && row == 0;
+            signature_groups.insert((rx, rxs, ry, rys, first), (col, row, count));
+        }
+    }
+    signature_groups
+        .into_values()
+        .map(|(col, row, count)| (geometry.analyze_tile(mode, &grid, col, row), count))
+        .collect()
+}
+
+pub(crate) fn validate_stacks(net: &Network, stacks: &[Stack]) -> Result<(), EvaluationError> {
     if stacks.is_empty() {
         return Err(EvaluationError::InvalidStacks("no stacks produced".into()));
     }
@@ -594,7 +645,9 @@ mod tests {
         let acc = zoo::meta_proto_like_df();
         let model = DfCostModel::new(&acc).with_fast_mapper();
         let net = small_net();
-        let sl = model.evaluate_network(&net, &DfStrategy::single_layer()).unwrap();
+        let sl = model
+            .evaluate_network(&net, &DfStrategy::single_layer())
+            .unwrap();
         let df = model
             .evaluate_network(
                 &net,
@@ -667,8 +720,18 @@ mod tests {
             )
             .unwrap();
         assert!(cost.operand_traffic_bytes(Operand::Weight) > 0.0);
-        assert!(cost.weight_access.operand_total(Operand::Input).total_bytes() == 0.0);
-        assert!(cost.activation_access.operand_total(Operand::Weight).total_bytes() == 0.0);
+        assert!(
+            cost.weight_access
+                .operand_total(Operand::Input)
+                .total_bytes()
+                == 0.0
+        );
+        assert!(
+            cost.activation_access
+                .operand_total(Operand::Weight)
+                .total_bytes()
+                == 0.0
+        );
         assert!(cost.energy_summary.total_pj() > 0.0);
         // The summary total approximates the reported energy (both are built
         // from the same breakdowns).
@@ -695,6 +758,9 @@ mod tests {
         let mid = eval(60, 72);
         let full = eval(960, 540);
         assert!(mid < full, "mid {mid} should beat full {full}");
-        assert!(mid < tiny * 1.5, "mid {mid} should not be much worse than tiny {tiny}");
+        assert!(
+            mid < tiny * 1.5,
+            "mid {mid} should not be much worse than tiny {tiny}"
+        );
     }
 }

@@ -1,14 +1,29 @@
 //! Design-space exploration: sweeps over tile sizes and overlap modes, best
 //! single strategy, and per-stack best combinations.
+//!
+//! Since the `defines-engine` subsystem landed, the [`Explorer`] is a thin
+//! definition of the DeFiNES design space on top of the generic
+//! [`SweepEngine`]: design points fan out over a parallel work queue, the
+//! LOMA mapping sub-problems are memoized through the model's
+//! [`MappingCache`](defines_mapping::MappingCache), and dominated points are
+//! skipped using the cheap lower bounds of [`crate::bounds`]. Results are
+//! bit-identical to a sequential scan (see [`Explorer::sweep_sequential`]),
+//! regardless of thread count.
 
+use crate::bounds::StrategyBounds;
 use crate::evaluate::{DfCostModel, EvaluationError};
 use crate::result::{NetworkCost, StackCost};
 use crate::stack::{partition_into_stacks, FuseDepth};
 use crate::strategy::{DfStrategy, OverlapMode, TileSize};
 use defines_arch::Accelerator;
+use defines_engine::{EngineConfig, SweepEngine, SweepRecord, SweepStats};
 use defines_workload::Network;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// A streamed record of the DeFiNES design space: one depth-first strategy
+/// and its (possibly pruned) evaluation.
+pub type DfSweepRecord = SweepRecord<DfStrategy, NetworkCost>;
 
 /// What the exploration should minimize. Users of DeFiNES can pick their own
 /// optimization target (Section V-A); these are the targets used throughout
@@ -91,16 +106,96 @@ pub struct CombinationResult {
 }
 
 /// Design-space explorer over depth-first strategies for one network and one
-/// accelerator.
+/// accelerator, running on the parallel exploration engine.
 #[derive(Debug)]
 pub struct Explorer<'a> {
     model: &'a DfCostModel<'a>,
+    engine: SweepEngine,
 }
 
 impl<'a> Explorer<'a> {
-    /// Creates an explorer driving the given cost model.
+    /// Creates an explorer driving the given cost model, with one engine
+    /// worker per available core and lower-bound pruning enabled for the
+    /// best-strategy searches.
     pub fn new(model: &'a DfCostModel<'a>) -> Self {
-        Self { model }
+        Self {
+            model,
+            engine: SweepEngine::new(EngineConfig::parallel()),
+        }
+    }
+
+    /// Returns a copy using an explicit engine configuration.
+    pub fn with_engine_config(mut self, config: EngineConfig) -> Self {
+        self.engine = SweepEngine::new(config);
+        self
+    }
+
+    /// Returns a copy using a fixed number of engine worker threads.
+    pub fn with_threads(self, threads: usize) -> Self {
+        let config = self.engine.config().with_threads(threads);
+        self.with_engine_config(config)
+    }
+
+    /// Returns a copy with lower-bound pruning switched on or off. Pruning
+    /// applies to [`Explorer::best_single_strategy`] and
+    /// [`Explorer::sweep_streaming`]; the exhaustive [`Explorer::sweep`] and
+    /// the per-stack [`Explorer::best_combination`] always evaluate every
+    /// point.
+    pub fn with_pruning(self, prune: bool) -> Self {
+        let config = self.engine.config().with_pruning(prune);
+        self.with_engine_config(config)
+    }
+
+    /// The engine configuration this explorer runs with.
+    pub fn engine_config(&self) -> &EngineConfig {
+        self.engine.config()
+    }
+
+    /// The design points of a (tile sizes × overlap modes) sweep, in the
+    /// canonical submission order (modes outer, tiles inner).
+    fn design_points(tile_sizes: &[(u64, u64)], modes: &[OverlapMode]) -> Vec<DfStrategy> {
+        let mut points = Vec::with_capacity(tile_sizes.len() * modes.len());
+        for &mode in modes {
+            for &(tx, ty) in tile_sizes {
+                points.push(DfStrategy::depth_first(TileSize::new(tx, ty), mode));
+            }
+        }
+        points
+    }
+
+    /// Validates the sweep upfront: every design point shares the automatic
+    /// fuse partition, so checking it once surfaces the same
+    /// [`EvaluationError`]s a per-point evaluation would — and guarantees
+    /// the engine's evaluate closures cannot fail mid-sweep.
+    fn validate_sweep(&self, net: &Network) -> Result<(), EvaluationError> {
+        if net.is_empty() {
+            return Err(EvaluationError::EmptyNetwork);
+        }
+        let stacks = partition_into_stacks(net, self.model.accelerator(), &FuseDepth::Auto);
+        crate::evaluate::validate_stacks(net, &stacks)
+    }
+
+    /// The engine's evaluate closure: infallible because
+    /// [`Explorer::validate_sweep`] ran first.
+    fn network_evaluator<'b>(
+        &'b self,
+        net: &'b Network,
+    ) -> impl Fn(&DfStrategy) -> NetworkCost + Sync + 'b {
+        move |s| {
+            self.model
+                .evaluate_network(net, s)
+                .expect("sweep strategies are validated before the engine run")
+        }
+    }
+
+    /// Unwraps the cost of a record from an unpruned engine run.
+    fn evaluated_cost<C>(outcome: defines_engine::Outcome<C>) -> C {
+        match outcome {
+            defines_engine::Outcome::Evaluated { cost, .. } => cost,
+            defines_engine::Outcome::Pruned { .. } => {
+                unreachable!("record carries no cost: the point was pruned")
+            }
+        }
     }
 
     /// The default tile-size grid used by case study 1 (Fig. 12): powers of
@@ -119,12 +214,47 @@ impl<'a> Explorer<'a> {
         grid
     }
 
-    /// Evaluates every (tile size × overlap mode) combination.
+    /// Evaluates every (tile size × overlap mode) combination on the engine.
+    ///
+    /// All points are fully evaluated (no pruning) and the results come back
+    /// in the canonical submission order, bit-identical to
+    /// [`Explorer::sweep_sequential`] regardless of thread count.
     ///
     /// # Errors
     ///
     /// Propagates evaluation errors (empty network, invalid stacks).
     pub fn sweep(
+        &self,
+        net: &Network,
+        tile_sizes: &[(u64, u64)],
+        modes: &[OverlapMode],
+    ) -> Result<Vec<ExplorationResult>, EvaluationError> {
+        self.validate_sweep(net)?;
+        let points = Self::design_points(tile_sizes, modes);
+        let engine = SweepEngine::new(self.engine.config().with_pruning(false));
+        let (records, _) = engine.run_collect(
+            &points,
+            &self.network_evaluator(net),
+            &|_, c: &NetworkCost| c.energy_pj,
+            None::<&fn(&DfStrategy) -> f64>,
+        );
+        Ok(records
+            .into_iter()
+            .map(|r| ExplorationResult {
+                strategy: r.point,
+                cost: Self::evaluated_cost(r.outcome),
+            })
+            .collect())
+    }
+
+    /// The seed's sequential sweep, kept as the engine's reference
+    /// implementation: one thread, no engine, no pruning. Exploration
+    /// results must be bit-identical between the two paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors (empty network, invalid stacks).
+    pub fn sweep_sequential(
         &self,
         net: &Network,
         tile_sizes: &[(u64, u64)],
@@ -141,7 +271,43 @@ impl<'a> Explorer<'a> {
         Ok(out)
     }
 
+    /// Streams the sweep as it executes: one [`DfSweepRecord`] per design
+    /// point in completion order, with best-so-far flags relative to the
+    /// optimization target. Pruning follows the explorer's engine
+    /// configuration. Returns the sweep statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors (empty network, invalid stacks).
+    pub fn sweep_streaming(
+        &self,
+        net: &Network,
+        tile_sizes: &[(u64, u64)],
+        modes: &[OverlapMode],
+        target: OptimizeTarget,
+        on_record: impl FnMut(DfSweepRecord),
+    ) -> Result<SweepStats, EvaluationError> {
+        self.validate_sweep(net)?;
+        let acc = self.model.accelerator();
+        let points = Self::design_points(tile_sizes, modes);
+        let bounds = StrategyBounds::new(net, acc, target);
+        let stats = self.engine.run(
+            &points,
+            &self.network_evaluator(net),
+            &|_, c: &NetworkCost| target.value(c, acc),
+            Some(&|s: &DfStrategy| bounds.lower_bound(s)),
+            on_record,
+        );
+        Ok(stats)
+    }
+
     /// Finds the best single strategy over a sweep, according to the target.
+    ///
+    /// Runs on the engine with lower-bound pruning (when enabled in the
+    /// configuration): dominated points are skipped, but the result —
+    /// including tie-breaking by submission order — is guaranteed identical
+    /// to an exhaustive sequential scan, because pruning only drops points
+    /// whose bound strictly exceeds an evaluated value.
     ///
     /// # Errors
     ///
@@ -153,16 +319,22 @@ impl<'a> Explorer<'a> {
         modes: &[OverlapMode],
         target: OptimizeTarget,
     ) -> Result<ExplorationResult, EvaluationError> {
+        self.validate_sweep(net)?;
         let acc = self.model.accelerator();
-        let results = self.sweep(net, tile_sizes, modes)?;
-        Ok(results
-            .into_iter()
-            .min_by(|a, b| {
-                target
-                    .value(&a.cost, acc)
-                    .total_cmp(&target.value(&b.cost, acc))
-            })
-            .expect("sweep always evaluates at least one point"))
+        let points = Self::design_points(tile_sizes, modes);
+        let bounds = StrategyBounds::new(net, acc, target);
+        let (records, _) = self.engine.run_collect(
+            &points,
+            &self.network_evaluator(net),
+            &|_, c: &NetworkCost| target.value(c, acc),
+            Some(&|s: &DfStrategy| bounds.lower_bound(s)),
+        );
+        let best =
+            SweepEngine::best_record(records).expect("sweep always evaluates at least one point");
+        Ok(ExplorationResult {
+            strategy: best.point,
+            cost: Self::evaluated_cost(best.outcome),
+        })
     }
 
     /// Finds the best *combination*: the fused-layer stacks are fixed (by the
@@ -187,30 +359,56 @@ impl<'a> Explorer<'a> {
         let acc = self.model.accelerator();
         let stacks = partition_into_stacks(net, acc, &FuseDepth::Auto);
         let dram = acc.hierarchy().dram_id();
-        let mut per_stack = Vec::with_capacity(stacks.len());
-        let mut stack_costs = Vec::with_capacity(stacks.len());
-        for stack in &stacks {
-            let mut best: Option<(TileSize, OverlapMode, StackCost)> = None;
-            let mut candidates: Vec<TileSize> = tile_sizes
-                .iter()
-                .map(|&(tx, ty)| TileSize::new(tx, ty))
-                .collect();
-            candidates.push(TileSize::full());
+
+        // Flatten every (stack, tile, mode) candidate into one engine run so
+        // all stacks' candidates share the work queue and the mapping cache.
+        let mut candidates: Vec<TileSize> = tile_sizes
+            .iter()
+            .map(|&(tx, ty)| TileSize::new(tx, ty))
+            .collect();
+        candidates.push(TileSize::full());
+        let mut points: Vec<(usize, TileSize, OverlapMode)> = Vec::new();
+        for stack_idx in 0..stacks.len() {
             for &tile in &candidates {
                 for &mode in modes {
-                    let cost = self.model.evaluate_stack(net, stack, tile, mode, dram, dram);
-                    let better = match &best {
-                        None => true,
-                        Some((_, _, b)) => {
-                            target.stack_value(&cost, acc) < target.stack_value(b, acc)
-                        }
-                    };
-                    if better {
-                        best = Some((tile, mode, cost));
-                    }
+                    points.push((stack_idx, tile, mode));
                 }
             }
-            let (tile, mode, cost) = best.expect("at least one candidate evaluated");
+        }
+
+        let engine = SweepEngine::new(self.engine.config().with_pruning(false));
+        let (records, _) = engine.run_collect(
+            &points,
+            &|&(stack_idx, tile, mode): &(usize, TileSize, OverlapMode)| {
+                self.model
+                    .evaluate_stack(net, &stacks[stack_idx], tile, mode, dram, dram)
+            },
+            &|_, c: &StackCost| target.stack_value(c, acc),
+            None::<&fn(&(usize, TileSize, OverlapMode)) -> f64>,
+        );
+
+        // Per stack, pick the candidate with the minimal target value; ties
+        // resolve to the earliest candidate, matching a sequential scan.
+        let mut best: Vec<Option<(TileSize, OverlapMode, f64, StackCost)>> =
+            (0..stacks.len()).map(|_| None).collect();
+        for record in records {
+            let (stack_idx, tile, mode) = record.point;
+            let value = record.value().expect("combination search never prunes");
+            let cost = Self::evaluated_cost(record.outcome);
+            let slot = &mut best[stack_idx];
+            let better = match slot {
+                None => true,
+                Some((_, _, best_value, _)) => value < *best_value,
+            };
+            if better {
+                *slot = Some((tile, mode, value, cost));
+            }
+        }
+
+        let mut per_stack = Vec::with_capacity(stacks.len());
+        let mut stack_costs = Vec::with_capacity(stacks.len());
+        for slot in best {
+            let (tile, mode, _, cost) = slot.expect("at least one candidate evaluated per stack");
             per_stack.push((tile, mode));
             stack_costs.push(cost);
         }
@@ -226,8 +424,12 @@ impl<'a> Explorer<'a> {
     ///
     /// Propagates evaluation errors.
     pub fn baselines(&self, net: &Network) -> Result<(NetworkCost, NetworkCost), EvaluationError> {
-        let sl = self.model.evaluate_network(net, &DfStrategy::single_layer())?;
-        let lbl = self.model.evaluate_network(net, &DfStrategy::layer_by_layer())?;
+        let sl = self
+            .model
+            .evaluate_network(net, &DfStrategy::single_layer())?;
+        let lbl = self
+            .model
+            .evaluate_network(net, &DfStrategy::layer_by_layer())?;
         Ok((sl, lbl))
     }
 }
@@ -341,6 +543,70 @@ mod tests {
         // per stack, so it can only match or improve.
         assert!(combo.cost.energy_pj <= single.cost.energy_pj * 1.01);
         assert_eq!(combo.per_stack.len(), combo.cost.stacks.len());
+    }
+
+    #[test]
+    fn engine_sweep_matches_sequential_bit_for_bit() {
+        let acc = zoo::meta_proto_like_df();
+        let model = DfCostModel::new(&acc).with_fast_mapper();
+        let net = tiny_net();
+        let tiles = [(8, 8), (16, 16), (46, 46)];
+        for threads in [1, 4] {
+            let explorer = Explorer::new(&model).with_threads(threads);
+            let parallel = explorer.sweep(&net, &tiles, &OverlapMode::ALL).unwrap();
+            let sequential = explorer
+                .sweep_sequential(&net, &tiles, &OverlapMode::ALL)
+                .unwrap();
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn pruned_best_matches_unpruned_best() {
+        let acc = zoo::meta_proto_like_df();
+        let model = DfCostModel::new(&acc).with_fast_mapper();
+        let net = tiny_net();
+        let tiles = [(1, 1), (4, 4), (8, 8), (46, 46)];
+        for target in [
+            OptimizeTarget::Energy,
+            OptimizeTarget::Latency,
+            OptimizeTarget::Edp,
+        ] {
+            let pruned = Explorer::new(&model)
+                .with_pruning(true)
+                .best_single_strategy(&net, &tiles, &OverlapMode::ALL, target)
+                .unwrap();
+            let exhaustive = Explorer::new(&model)
+                .with_pruning(false)
+                .best_single_strategy(&net, &tiles, &OverlapMode::ALL, target)
+                .unwrap();
+            assert_eq!(pruned, exhaustive, "target {target}");
+        }
+    }
+
+    #[test]
+    fn streaming_sweep_reports_every_point() {
+        let acc = zoo::meta_proto_like_df();
+        let model = DfCostModel::new(&acc).with_fast_mapper();
+        let net = tiny_net();
+        let tiles = [(8, 8), (16, 16)];
+        let explorer = Explorer::new(&model).with_pruning(false);
+        let mut seen = Vec::new();
+        let stats = explorer
+            .sweep_streaming(
+                &net,
+                &tiles,
+                &OverlapMode::ALL,
+                OptimizeTarget::Energy,
+                |r| {
+                    seen.push(r.index);
+                },
+            )
+            .unwrap();
+        assert_eq!(stats.points, 6);
+        assert_eq!(stats.evaluated, 6);
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -155,7 +155,12 @@ impl Rect {
 ///
 /// `in = [out.x0 * sx - px, out.x1 * sx - px + fx - 1]` (same along y), before
 /// clamping to the input feature map.
-pub fn project_to_input(out: &Rect, stride: (u64, u64), kernel: (u64, u64), pad: (u64, u64)) -> Rect {
+pub fn project_to_input(
+    out: &Rect,
+    stride: (u64, u64),
+    kernel: (u64, u64),
+    pad: (u64, u64),
+) -> Rect {
     if out.is_empty() {
         return Rect::empty();
     }

@@ -47,6 +47,7 @@
 
 pub mod backcalc;
 pub mod baselines;
+pub mod bounds;
 pub mod datacopy;
 pub mod evaluate;
 pub mod explore;
@@ -57,8 +58,9 @@ pub mod stack;
 pub mod strategy;
 pub mod tiling;
 
+pub use bounds::StrategyBounds;
 pub use evaluate::{DfCostModel, EvaluationError};
-pub use explore::{ExplorationResult, Explorer, OptimizeTarget};
+pub use explore::{DfSweepRecord, ExplorationResult, Explorer, OptimizeTarget};
 pub use result::{DataClass, NetworkCost, StackCost, TileTypeCost};
 pub use stack::{FuseDepth, Stack};
 pub use strategy::{BetweenStackMemory, DfStrategy, OverlapMode, TileSize};

@@ -150,9 +150,7 @@ pub fn determine_placement(
     } else {
         dram
     };
-    let weight = if !request.layer_has_weights {
-        dram
-    } else if request.is_first_tile {
+    let weight = if !request.layer_has_weights || request.is_first_tile {
         dram
     } else {
         weight_home
@@ -285,7 +283,6 @@ mod tests {
             output_bytes: 30 * 1024,
             cache_h_bytes: 20 * 1024,
             cache_v_bytes: 3 * 1024 * 1024,
-            ..Default::default()
         };
         let p = determine_placement(&acc, &req, &PlacementPolicy::default());
         // I and O fill the 64 KB LB, so the H cache is pushed to the GB and

@@ -20,7 +20,11 @@ pub enum DataClass {
 
 impl DataClass {
     /// All data classes.
-    pub const ALL: [DataClass; 3] = [DataClass::Activation, DataClass::Weight, DataClass::DataCopy];
+    pub const ALL: [DataClass; 3] = [
+        DataClass::Activation,
+        DataClass::Weight,
+        DataClass::DataCopy,
+    ];
 }
 
 /// Summary of where the energy of an evaluation went.
@@ -275,7 +279,12 @@ mod tests {
     use super::*;
     use defines_arch::zoo;
 
-    fn dummy_breakdown(level: MemoryLevelId, operand: Operand, reads: f64, writes: f64) -> AccessBreakdown {
+    fn dummy_breakdown(
+        level: MemoryLevelId,
+        operand: Operand,
+        reads: f64,
+        writes: f64,
+    ) -> AccessBreakdown {
         let mut b = AccessBreakdown::new();
         b.add_reads(level, operand, reads);
         b.add_writes(level, operand, writes);

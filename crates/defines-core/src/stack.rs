@@ -72,7 +72,10 @@ impl Stack {
 
     /// Total weight bytes of the stack's layers.
     pub fn weight_bytes(&self, net: &Network) -> u64 {
-        self.layers.iter().map(|&l| net.layer(l).weight_bytes()).sum()
+        self.layers
+            .iter()
+            .map(|&l| net.layer(l).weight_bytes())
+            .sum()
     }
 }
 
@@ -245,7 +248,10 @@ mod tests {
         // Its DF variant has a 1 MB weight GB.
         assert_eq!(weight_fuse_budget_bytes(&zoo::tpu_like_df()), 1024 * 1024);
         // Meta-proto-like DF: the weight GB (1 MB) is the top weight level.
-        assert_eq!(weight_fuse_budget_bytes(&zoo::meta_proto_like_df()), 1024 * 1024);
+        assert_eq!(
+            weight_fuse_budget_bytes(&zoo::meta_proto_like_df()),
+            1024 * 1024
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl OverlapMode {
 
     /// Whether the horizontal overlap is cached.
     pub fn caches_horizontal(&self) -> bool {
-        matches!(self, OverlapMode::HCachedVRecompute | OverlapMode::FullyCached)
+        matches!(
+            self,
+            OverlapMode::HCachedVRecompute | OverlapMode::FullyCached
+        )
     }
 
     /// Whether the vertical overlap is cached.

@@ -64,7 +64,10 @@ impl TileGrid {
     ///
     /// Panics if the coordinates are outside the grid.
     pub fn tile_rect(&self, col: u64, row: u64) -> Rect {
-        assert!(col < self.cols() && row < self.rows(), "tile index out of range");
+        assert!(
+            col < self.cols() && row < self.rows(),
+            "tile index out of range"
+        );
         let x0 = col * self.tx;
         let y0 = row * self.ty;
         let x1 = (x0 + self.tx - 1).min(self.width - 1);
@@ -75,7 +78,9 @@ impl TileGrid {
     /// Iterates over all tiles in processing order: left-to-right, then
     /// top-to-bottom (the order assumed throughout the paper).
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64, Rect)> + '_ {
-        (0..self.rows()).flat_map(move |row| (0..self.cols()).map(move |col| (col, row, self.tile_rect(col, row))))
+        (0..self.rows()).flat_map(move |row| {
+            (0..self.cols()).map(move |col| (col, row, self.tile_rect(col, row)))
+        })
     }
 }
 

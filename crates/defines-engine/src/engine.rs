@@ -1,0 +1,544 @@
+//! The work-queue parallel sweep executor with pruning and streaming results.
+
+use serde::{Serialize, Value};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// How a sweep executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads. `1` evaluates inline on the calling thread, in point
+    /// order.
+    pub threads: usize,
+    /// Whether lower-bound pruning is applied (only takes effect when the
+    /// caller supplies a bound).
+    pub prune: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::parallel()
+    }
+}
+
+impl EngineConfig {
+    /// One worker, no pruning: the engine's faithful re-implementation of a
+    /// plain sequential sweep.
+    pub fn sequential() -> Self {
+        Self {
+            threads: 1,
+            prune: false,
+        }
+    }
+
+    /// One worker per available core, pruning enabled.
+    pub fn parallel() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            prune: true,
+        }
+    }
+
+    /// Returns a copy with an explicit worker count (minimum 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Returns a copy with pruning switched on or off.
+    pub fn with_pruning(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+}
+
+/// What happened to one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome<C> {
+    /// The point was fully evaluated.
+    Evaluated {
+        /// The evaluated cost.
+        cost: C,
+        /// The scalar objective value of the cost.
+        value: f64,
+    },
+    /// The point was skipped: its lower bound already exceeded the best
+    /// evaluated value, so its true cost cannot beat (or even tie) the best.
+    Pruned {
+        /// The lower bound that justified skipping.
+        lower_bound: f64,
+    },
+}
+
+/// One streamed sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRecord<P, C> {
+    /// Index of the design point in the submitted order.
+    pub index: usize,
+    /// The design point.
+    pub point: P,
+    /// Evaluation outcome.
+    pub outcome: Outcome<C>,
+    /// Whether this record improved on every record streamed before it.
+    pub is_best_so_far: bool,
+}
+
+impl<P, C> SweepRecord<P, C> {
+    /// The objective value, if the point was evaluated.
+    pub fn value(&self) -> Option<f64> {
+        match &self.outcome {
+            Outcome::Evaluated { value, .. } => Some(*value),
+            Outcome::Pruned { .. } => None,
+        }
+    }
+
+    /// The evaluated cost, if the point was evaluated.
+    pub fn cost(&self) -> Option<&C> {
+        match &self.outcome {
+            Outcome::Evaluated { cost, .. } => Some(cost),
+            Outcome::Pruned { .. } => None,
+        }
+    }
+}
+
+impl<C: Serialize> Serialize for Outcome<C> {
+    fn to_value(&self) -> Value {
+        match self {
+            Outcome::Evaluated { cost, value } => Value::Object(vec![(
+                "Evaluated".to_string(),
+                Value::Object(vec![
+                    ("cost".to_string(), cost.to_value()),
+                    ("value".to_string(), Value::F64(*value)),
+                ]),
+            )]),
+            Outcome::Pruned { lower_bound } => Value::Object(vec![(
+                "Pruned".to_string(),
+                Value::Object(vec![("lower_bound".to_string(), Value::F64(*lower_bound))]),
+            )]),
+        }
+    }
+}
+
+impl<P: Serialize, C: Serialize> Serialize for SweepRecord<P, C> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("index".to_string(), Value::U64(self.index as u64)),
+            ("point".to_string(), self.point.to_value()),
+            ("outcome".to_string(), self.outcome.to_value()),
+            (
+                "is_best_so_far".to_string(),
+                Value::Bool(self.is_best_so_far),
+            ),
+        ])
+    }
+}
+
+/// Summary of one sweep run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepStats {
+    /// Total design points submitted.
+    pub points: usize,
+    /// Points fully evaluated.
+    pub evaluated: usize,
+    /// Points skipped by lower-bound pruning.
+    pub pruned: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time of the sweep.
+    pub elapsed: Duration,
+}
+
+impl Serialize for SweepStats {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("points".to_string(), Value::U64(self.points as u64)),
+            ("evaluated".to_string(), Value::U64(self.evaluated as u64)),
+            ("pruned".to_string(), Value::U64(self.pruned as u64)),
+            ("threads".to_string(), Value::U64(self.threads as u64)),
+            (
+                "elapsed_ms".to_string(),
+                Value::F64(self.elapsed.as_secs_f64() * 1e3),
+            ),
+        ])
+    }
+}
+
+/// The parallel sweep executor.
+///
+/// `run` fans the design points out over a work queue, evaluates them with
+/// the caller's closure, and streams one [`SweepRecord`] per point (in
+/// completion order) to the caller's sink. The best objective value seen so
+/// far is shared across workers; when pruning is enabled and the caller
+/// provides a lower bound, points whose bound *strictly* exceeds the current
+/// best are skipped. Strictness matters: a skipped point can therefore never
+/// tie the best evaluated point, so the arg-min over evaluated points (with
+/// index tie-breaking) is identical with and without pruning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepEngine {
+    config: EngineConfig,
+}
+
+impl SweepEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs a sweep, streaming records to `on_record`.
+    ///
+    /// * `evaluate` — full evaluation of one design point (expensive),
+    /// * `objective` — scalar value to minimize, derived from a cost,
+    /// * `lower_bound` — optional cheap bound: must never exceed the true
+    ///   objective value of the point, or pruning could drop the optimum.
+    pub fn run<P, C, E, V, L, S>(
+        &self,
+        points: &[P],
+        evaluate: &E,
+        objective: &V,
+        lower_bound: Option<&L>,
+        on_record: S,
+    ) -> SweepStats
+    where
+        P: Clone + Sync,
+        C: Send,
+        E: Fn(&P) -> C + Sync,
+        V: Fn(&P, &C) -> f64 + Sync,
+        L: Fn(&P) -> f64 + Sync,
+        S: FnMut(SweepRecord<P, C>),
+    {
+        let start = Instant::now();
+        let bound = if self.config.prune { lower_bound } else { None };
+        let threads = self.config.threads.min(points.len()).max(1);
+        let (evaluated, pruned) = if threads <= 1 {
+            self.run_sequential(points, evaluate, objective, bound, on_record)
+        } else {
+            self.run_parallel(points, threads, evaluate, objective, bound, on_record)
+        };
+        SweepStats {
+            points: points.len(),
+            evaluated,
+            pruned,
+            threads,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Runs a sweep and returns the records ordered by design-point index.
+    pub fn run_collect<P, C, E, V, L>(
+        &self,
+        points: &[P],
+        evaluate: &E,
+        objective: &V,
+        lower_bound: Option<&L>,
+    ) -> (Vec<SweepRecord<P, C>>, SweepStats)
+    where
+        P: Clone + Sync,
+        C: Send,
+        E: Fn(&P) -> C + Sync,
+        V: Fn(&P, &C) -> f64 + Sync,
+        L: Fn(&P) -> f64 + Sync,
+    {
+        let mut records: Vec<Option<SweepRecord<P, C>>> = (0..points.len()).map(|_| None).collect();
+        let stats = self.run(points, evaluate, objective, lower_bound, |r| {
+            let index = r.index;
+            records[index] = Some(r);
+        });
+        let records = records
+            .into_iter()
+            .map(|r| r.expect("every submitted point produces exactly one record"))
+            .collect();
+        (records, stats)
+    }
+
+    /// The best evaluated record of a sweep: minimal objective value, ties
+    /// broken by the lowest design-point index — exactly the arg-min a
+    /// sequential scan in submission order would select.
+    pub fn best_record<P, C>(records: Vec<SweepRecord<P, C>>) -> Option<SweepRecord<P, C>> {
+        records
+            .into_iter()
+            .filter(|r| r.value().is_some())
+            .min_by(|a, b| {
+                let (va, vb) = (a.value().unwrap(), b.value().unwrap());
+                va.total_cmp(&vb).then(a.index.cmp(&b.index))
+            })
+    }
+
+    fn run_sequential<P, C, E, V, L, S>(
+        &self,
+        points: &[P],
+        evaluate: &E,
+        objective: &V,
+        lower_bound: Option<&L>,
+        mut on_record: S,
+    ) -> (usize, usize)
+    where
+        P: Clone,
+        E: Fn(&P) -> C,
+        V: Fn(&P, &C) -> f64,
+        L: Fn(&P) -> f64,
+        S: FnMut(SweepRecord<P, C>),
+    {
+        let mut best = f64::INFINITY;
+        let mut evaluated = 0;
+        let mut pruned = 0;
+        for (index, point) in points.iter().enumerate() {
+            if let Some(lb) = lower_bound {
+                let bound = lb(point);
+                if bound > best {
+                    pruned += 1;
+                    on_record(SweepRecord {
+                        index,
+                        point: point.clone(),
+                        outcome: Outcome::Pruned { lower_bound: bound },
+                        is_best_so_far: false,
+                    });
+                    continue;
+                }
+            }
+            let cost = evaluate(point);
+            let value = objective(point, &cost);
+            evaluated += 1;
+            let is_best = value < best;
+            best = best.min(value);
+            on_record(SweepRecord {
+                index,
+                point: point.clone(),
+                outcome: Outcome::Evaluated { cost, value },
+                is_best_so_far: is_best,
+            });
+        }
+        (evaluated, pruned)
+    }
+
+    fn run_parallel<P, C, E, V, L, S>(
+        &self,
+        points: &[P],
+        threads: usize,
+        evaluate: &E,
+        objective: &V,
+        lower_bound: Option<&L>,
+        mut on_record: S,
+    ) -> (usize, usize)
+    where
+        P: Clone + Sync,
+        C: Send,
+        E: Fn(&P) -> C + Sync,
+        V: Fn(&P, &C) -> f64 + Sync,
+        L: Fn(&P) -> f64 + Sync,
+        S: FnMut(SweepRecord<P, C>),
+    {
+        let queue = AtomicUsize::new(0);
+        let best_bits = AtomicU64::new(f64::INFINITY.to_bits());
+        let mut evaluated = 0;
+        let mut pruned = 0;
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, Outcome<C>)>();
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let queue = &queue;
+                let best_bits = &best_bits;
+                scope.spawn(move || loop {
+                    let index = queue.fetch_add(1, Ordering::Relaxed);
+                    if index >= points.len() {
+                        return;
+                    }
+                    let point = &points[index];
+                    if let Some(lb) = lower_bound {
+                        let bound = lb(point);
+                        if bound > f64::from_bits(best_bits.load(Ordering::Relaxed)) {
+                            if tx
+                                .send((index, Outcome::Pruned { lower_bound: bound }))
+                                .is_err()
+                            {
+                                return;
+                            }
+                            continue;
+                        }
+                    }
+                    let cost = evaluate(point);
+                    let value = objective(point, &cost);
+                    atomic_f64_min(best_bits, value);
+                    if tx
+                        .send((index, Outcome::Evaluated { cost, value }))
+                        .is_err()
+                    {
+                        return;
+                    }
+                });
+            }
+            drop(tx);
+            let mut best_seen = f64::INFINITY;
+            for (index, outcome) in rx {
+                let is_best = match &outcome {
+                    Outcome::Evaluated { value, .. } => {
+                        evaluated += 1;
+                        let better = *value < best_seen;
+                        best_seen = best_seen.min(*value);
+                        better
+                    }
+                    Outcome::Pruned { .. } => {
+                        pruned += 1;
+                        false
+                    }
+                };
+                on_record(SweepRecord {
+                    index,
+                    point: points[index].clone(),
+                    outcome,
+                    is_best_so_far: is_best,
+                });
+            }
+        });
+        (evaluated, pruned)
+    }
+}
+
+/// Lock-free minimum update of an f64 stored as bits. All objective values
+/// are non-negative and finite, so the bit patterns order like the floats.
+fn atomic_f64_min(cell: &AtomicU64, value: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        if f64::from_bits(current) <= value {
+            return;
+        }
+        match cell.compare_exchange_weak(
+            current,
+            value.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A toy quadratic objective over integer points.
+    fn toy_eval(p: &i64) -> f64 {
+        (*p as f64 - 3.0).powi(2)
+    }
+
+    #[test]
+    fn sequential_and_parallel_collect_identically() {
+        let points: Vec<i64> = (0..40).collect();
+        let seq = SweepEngine::new(EngineConfig::sequential());
+        let par = SweepEngine::new(EngineConfig::parallel().with_threads(4).with_pruning(false));
+        let (a, _) = seq.run_collect(
+            &points,
+            &toy_eval,
+            &|_, c: &f64| *c,
+            None::<&fn(&i64) -> f64>,
+        );
+        let (b, _) = par.run_collect(
+            &points,
+            &toy_eval,
+            &|_, c: &f64| *c,
+            None::<&fn(&i64) -> f64>,
+        );
+        let costs_a: Vec<f64> = a.iter().map(|r| r.value().unwrap()).collect();
+        let costs_b: Vec<f64> = b.iter().map(|r| r.value().unwrap()).collect();
+        assert_eq!(costs_a, costs_b);
+        assert_eq!(
+            a.iter().map(|r| r.index).collect::<Vec<_>>(),
+            (0..40).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn pruning_skips_but_never_changes_the_best() {
+        // Sound lower bound: half the true value.
+        let lb = |p: &i64| toy_eval(p) / 2.0;
+        let points: Vec<i64> = (0..200).collect();
+        for threads in [1, 4] {
+            let engine = SweepEngine::new(EngineConfig::parallel().with_threads(threads));
+            let (records, stats) =
+                engine.run_collect(&points, &toy_eval, &|_, c: &f64| *c, Some(&lb));
+            let best = SweepEngine::best_record(records).unwrap();
+            assert_eq!(best.point, 3);
+            assert_eq!(stats.evaluated + stats.pruned, 200);
+            if threads == 1 {
+                assert!(
+                    stats.pruned > 0,
+                    "sequential pruning should fire on far points"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strict_pruning_preserves_tie_breaking() {
+        // Every point has the same value and a tight (equal) bound: nothing
+        // may be pruned, and the best must be the lowest index.
+        let points: Vec<i64> = (0..16).collect();
+        let engine = SweepEngine::new(EngineConfig::sequential().with_pruning(true));
+        let (records, stats) = engine.run_collect(
+            &points,
+            &|_: &i64| 7.0f64,
+            &|_, c: &f64| *c,
+            Some(&|_: &i64| 7.0),
+        );
+        assert_eq!(stats.pruned, 0);
+        assert_eq!(SweepEngine::best_record(records).unwrap().index, 0);
+    }
+
+    #[test]
+    fn streaming_marks_best_so_far() {
+        let points: Vec<i64> = vec![9, 5, 5, 1];
+        let engine = SweepEngine::new(EngineConfig::sequential());
+        let mut flags = Vec::new();
+        engine.run(
+            &points,
+            &|p: &i64| *p as f64,
+            &|_, c: &f64| *c,
+            None::<&fn(&i64) -> f64>,
+            |r| flags.push(r.is_best_so_far),
+        );
+        assert_eq!(flags, vec![true, true, false, true]);
+    }
+
+    #[test]
+    fn every_point_is_evaluated_exactly_once_in_parallel() {
+        let counter = AtomicUsize::new(0);
+        let points: Vec<i64> = (0..100).collect();
+        let engine = SweepEngine::new(EngineConfig::parallel().with_threads(8).with_pruning(false));
+        let (records, stats) = engine.run_collect(
+            &points,
+            &|p: &i64| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                *p as f64
+            },
+            &|_, c: &f64| *c,
+            None::<&fn(&i64) -> f64>,
+        );
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(records.len(), 100);
+        assert_eq!(stats.evaluated, 100);
+    }
+
+    #[test]
+    fn records_serialize_to_json() {
+        let record = SweepRecord {
+            index: 2,
+            point: 5i64,
+            outcome: Outcome::Evaluated {
+                cost: 1.5f64,
+                value: 1.5,
+            },
+            is_best_so_far: true,
+        };
+        let json = serde::Serialize::to_value(&record).to_json();
+        assert!(json.contains("\"index\":2"));
+        assert!(json.contains("Evaluated"));
+    }
+}

@@ -1,0 +1,196 @@
+//! A sharded, thread-safe memoization cache with hit/miss accounting.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independent shards; keys are distributed by hash so concurrent
+/// workers rarely contend on the same lock.
+const SHARDS: usize = 16;
+
+/// Hit/miss statistics of a [`MemoCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the value.
+    pub misses: u64,
+    /// Distinct entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded map from problem keys to computed values.
+///
+/// `get_or_insert_with` does **not** hold any lock while computing a missing
+/// value, so long computations (a temporal-mapping search, say) never
+/// serialize other workers. Two threads may race to compute the same key;
+/// with a deterministic computation both produce the same value and the
+/// second insert is a no-op, so results never depend on the interleaving.
+pub struct MemoCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K, V> std::fmt::Debug for MemoCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoCache")
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> Default for MemoCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it on a
+    /// miss.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let shard = self.shard(&key);
+        if let Some(hit) = shard.lock().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        shard
+            .lock()
+            .expect("cache shard poisoned")
+            .entry(key)
+            .or_insert_with(|| value.clone());
+        value
+    }
+
+    /// The cached value for `key`, if present (counts as a hit/miss).
+    pub fn get(&self, key: &K) -> Option<V> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Number of distinct entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and resets the statistics.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Current hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn caches_and_counts() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        let computed = AtomicUsize::new(0);
+        for _ in 0..3 {
+            for k in 0..4u64 {
+                let v = cache.get_or_insert_with(k, || {
+                    computed.fetch_add(1, Ordering::Relaxed);
+                    k * 10
+                });
+                assert_eq!(v, k * 10);
+            }
+        }
+        assert_eq!(computed.load(Ordering::Relaxed), 4);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits, 8);
+        assert_eq!(stats.entries, 4);
+        assert!((stats.hit_rate() - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        cache.get_or_insert_with(1, || 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for k in 0..64u64 {
+                        assert_eq!(cache.get_or_insert_with(k, || k + 1), k + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 64);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4 * 64);
+    }
+}

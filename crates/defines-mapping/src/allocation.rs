@@ -23,12 +23,18 @@ pub struct OperandAllocation {
 impl OperandAllocation {
     /// The innermost memory level serving the operand.
     pub fn innermost(&self) -> MemoryLevelId {
-        self.levels.first().expect("allocation has at least the top level").0
+        self.levels
+            .first()
+            .expect("allocation has at least the top level")
+            .0
     }
 
     /// The top (outermost allowed) memory level.
     pub fn top(&self) -> MemoryLevelId {
-        self.levels.last().expect("allocation has at least the top level").0
+        self.levels
+            .last()
+            .expect("allocation has at least the top level")
+            .0
     }
 }
 
@@ -92,7 +98,9 @@ pub fn usable_levels(problem: &SingleLayerProblem<'_>, operand: Operand) -> Vec<
 fn sharers(problem: &SingleLayerProblem<'_>, level: MemoryLevelId) -> u64 {
     Operand::ALL
         .iter()
-        .filter(|&&op| problem.footprint_bytes(op) > 0 && usable_levels(problem, op).contains(&level))
+        .filter(|&&op| {
+            problem.footprint_bytes(op) > 0 && usable_levels(problem, op).contains(&level)
+        })
         .count()
         .max(1) as u64
 }

@@ -1,0 +1,150 @@
+//! Memoization of single-layer mapping results across design points.
+//!
+//! The depth-first design space is hugely redundant from the mapper's point
+//! of view: different (tile size, overlap mode, fuse depth) design points
+//! decompose into the *same* per-layer tile sub-problems, and the LOMA
+//! temporal-mapping search is by far the most expensive part of evaluating
+//! one. A [`MappingCache`] keys mapping results by the full sub-problem
+//! identity — layer signature (operator, precisions), tile dimensions,
+//! operand top levels and the accelerator's structural fingerprint — so each
+//! distinct sub-problem is searched exactly once no matter how many design
+//! points, sweeps or cost-model instances share the cache.
+
+use crate::cost::LayerCost;
+use crate::loma::LomaMapper;
+use crate::problem::{OperandTopLevels, SingleLayerProblem};
+use defines_engine::{CacheStats, MemoCache};
+use defines_workload::{LayerDims, OpType};
+use std::sync::Arc;
+
+/// The memoization key: everything that determines a mapping result.
+///
+/// Two problems with equal keys are guaranteed to produce bit-identical
+/// [`LayerCost`]s under the same [`MapperConfig`](crate::MapperConfig),
+/// because the mapper is deterministic in the problem alone.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProblemKey {
+    /// Structural fingerprint of the accelerator
+    /// ([`Accelerator::fingerprint`](defines_arch::Accelerator::fingerprint)).
+    pub accelerator: u64,
+    /// Operator class of the layer.
+    pub op: OpType,
+    /// Loop dimensions of the (tile of the) layer.
+    pub dims: LayerDims,
+    /// Bits per activation element.
+    pub act_bits: u32,
+    /// Bits per weight element.
+    pub weight_bits: u32,
+    /// Highest memory level each operand may use.
+    pub top_levels: OperandTopLevels,
+    /// The mapper configuration fingerprint (objective + search width), so
+    /// one cache can serve models with different mapper settings.
+    pub mapper: u64,
+}
+
+impl ProblemKey {
+    /// Builds the key for a problem solved by a specific mapper.
+    pub fn new(problem: &SingleLayerProblem<'_>, mapper: &LomaMapper) -> Self {
+        Self {
+            accelerator: problem.accelerator.fingerprint(),
+            op: problem.op,
+            dims: problem.dims,
+            act_bits: problem.act_bits,
+            weight_bits: problem.weight_bits,
+            top_levels: problem.top_levels,
+            mapper: mapper.config_fingerprint(),
+        }
+    }
+}
+
+/// A shared, thread-safe cache of single-layer mapping results.
+///
+/// Cloning the handle is cheap (`Arc`); all clones share the same entries and
+/// statistics. The cache is safe to share across threads, accelerators and
+/// mapper configurations — the key disambiguates all of them.
+#[derive(Debug, Clone, Default)]
+pub struct MappingCache {
+    inner: Arc<MemoCache<ProblemKey, LayerCost>>,
+}
+
+impl MappingCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached cost for the problem, running the mapper on a miss.
+    pub fn optimize(&self, mapper: &LomaMapper, problem: &SingleLayerProblem<'_>) -> LayerCost {
+        let key = ProblemKey::new(problem, mapper);
+        self.inner
+            .get_or_insert_with(key, || mapper.optimize(problem))
+    }
+
+    /// Hit/miss statistics accumulated since creation (or the last clear).
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Drops all entries and resets the statistics.
+    pub fn clear(&self) {
+        self.inner.clear()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loma::MapperConfig;
+    use defines_arch::zoo;
+    use defines_workload::{Layer, LayerDims, OpType};
+
+    fn layer() -> Layer {
+        Layer::new("c", OpType::Conv, LayerDims::conv(32, 16, 28, 28, 3, 3))
+    }
+
+    #[test]
+    fn cache_returns_identical_results() {
+        let acc = zoo::meta_proto_like_df();
+        let l = layer();
+        let problem = SingleLayerProblem::new(&acc, &l);
+        let mapper = LomaMapper::new(MapperConfig::fast());
+        let cache = MappingCache::new();
+        let fresh = mapper.optimize(&problem);
+        let first = cache.optimize(&mapper, &problem);
+        let second = cache.optimize(&mapper, &problem);
+        assert_eq!(first, fresh);
+        assert_eq!(second, fresh);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn key_distinguishes_accelerators_and_mappers() {
+        let a = zoo::meta_proto_like_df();
+        let b = zoo::tpu_like();
+        let l = layer();
+        let pa = SingleLayerProblem::new(&a, &l);
+        let pb = SingleLayerProblem::new(&b, &l);
+        let fast = LomaMapper::new(MapperConfig::fast());
+        let full = LomaMapper::default();
+        assert_ne!(ProblemKey::new(&pa, &fast), ProblemKey::new(&pb, &fast));
+        assert_ne!(ProblemKey::new(&pa, &fast), ProblemKey::new(&pa, &full));
+        assert_eq!(ProblemKey::new(&pa, &fast), ProblemKey::new(&pa, &fast));
+    }
+
+    #[test]
+    fn shared_handles_share_entries() {
+        let acc = zoo::meta_proto_like_df();
+        let l = layer();
+        let problem = SingleLayerProblem::new(&acc, &l);
+        let mapper = LomaMapper::new(MapperConfig::fast());
+        let cache = MappingCache::new();
+        let clone = cache.clone();
+        let _ = cache.optimize(&mapper, &problem);
+        let _ = clone.optimize(&mapper, &problem);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(clone.stats().entries, 1);
+    }
+}

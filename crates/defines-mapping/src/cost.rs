@@ -297,7 +297,10 @@ mod tests {
 
     #[test]
     fn energy_components_are_consistent() {
-        let (_, c) = cost_for(LayerDims::conv(64, 16, 32, 32, 3, 3), &Dim::SPATIAL_AND_CHANNEL);
+        let (_, c) = cost_for(
+            LayerDims::conv(64, 16, 32, 32, 3, 3),
+            &Dim::SPATIAL_AND_CHANNEL,
+        );
         assert!(c.energy_pj > 0.0);
         assert!((c.energy_pj - (c.mac_energy_pj + c.memory_energy_pj)).abs() < 1e-6);
         assert!(c.latency_cycles >= c.compute_cycles);
@@ -311,7 +314,8 @@ mod tests {
         let acc = zoo::meta_proto_like_df();
         let layer = Layer::new("c", OpType::Conv, LayerDims::conv(64, 16, 32, 32, 3, 3));
         let p = SingleLayerProblem::new(&acc, &layer);
-        let m = TemporalMapping::from_order(&p, &[Dim::C, Dim::FX, Dim::FY, Dim::K, Dim::OX, Dim::OY]);
+        let m =
+            TemporalMapping::from_order(&p, &[Dim::C, Dim::FX, Dim::FY, Dim::K, Dim::OX, Dim::OY]);
         let c = evaluate(&p, &m);
         let dram = acc.hierarchy().dram_id();
         let o_at_dram = c.accesses.get(dram, Operand::Output);
@@ -321,7 +325,10 @@ mod tests {
 
     #[test]
     fn weight_dram_reads_at_least_footprint() {
-        let (acc, c) = cost_for(LayerDims::conv(64, 16, 32, 32, 3, 3), &Dim::SPATIAL_AND_CHANNEL);
+        let (acc, c) = cost_for(
+            LayerDims::conv(64, 16, 32, 32, 3, 3),
+            &Dim::SPATIAL_AND_CHANNEL,
+        );
         let dram = acc.hierarchy().dram_id();
         let w = c.accesses.get(dram, Operand::Weight);
         assert!(w.reads_bytes >= (64 * 16 * 9) as f64);
@@ -341,7 +348,10 @@ mod tests {
 
     #[test]
     fn breakdown_merge_and_scale() {
-        let (_, c) = cost_for(LayerDims::conv(16, 8, 16, 16, 3, 3), &Dim::SPATIAL_AND_CHANNEL);
+        let (_, c) = cost_for(
+            LayerDims::conv(16, 8, 16, 16, 3, 3),
+            &Dim::SPATIAL_AND_CHANNEL,
+        );
         let mut merged = AccessBreakdown::new();
         merged.merge(&c.accesses);
         merged.merge(&c.accesses);
@@ -355,10 +365,16 @@ mod tests {
 
     #[test]
     fn objective_values() {
-        let (acc, c) = cost_for(LayerDims::conv(16, 8, 16, 16, 3, 3), &Dim::SPATIAL_AND_CHANNEL);
+        let (acc, c) = cost_for(
+            LayerDims::conv(16, 8, 16, 16, 3, 3),
+            &Dim::SPATIAL_AND_CHANNEL,
+        );
         let dram = acc.hierarchy().dram_id();
         assert_eq!(c.objective_value(Objective::Energy, dram), c.energy_pj);
-        assert_eq!(c.objective_value(Objective::Latency, dram), c.latency_cycles);
+        assert_eq!(
+            c.objective_value(Objective::Latency, dram),
+            c.latency_cycles
+        );
         assert_eq!(c.objective_value(Objective::Edp, dram), c.edp());
         assert!(c.objective_value(Objective::DramAccess, dram) > 0.0);
     }

@@ -38,11 +38,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod allocation;
+pub mod cache;
 pub mod cost;
 pub mod loma;
 pub mod problem;
 pub mod temporal;
 
+pub use cache::{MappingCache, ProblemKey};
 pub use cost::{AccessBreakdown, LayerCost, Objective};
 pub use loma::{LomaMapper, MapperConfig};
 pub use problem::{OperandTopLevels, SingleLayerProblem};

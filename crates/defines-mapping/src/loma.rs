@@ -68,6 +68,18 @@ impl LomaMapper {
         &self.config
     }
 
+    /// A stable fingerprint of the configuration, used by
+    /// [`MappingCache`](crate::MappingCache) keys so one cache can serve
+    /// mappers with different settings.
+    pub fn config_fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        (self.config.objective as u64).hash(&mut h);
+        self.config.max_orderings.hash(&mut h);
+        h.finish()
+    }
+
     /// Finds the best temporal mapping for a problem and returns its cost.
     ///
     /// Ties on the objective are broken by total energy, then latency, so the
@@ -92,7 +104,9 @@ impl LomaMapper {
                     );
                     cv < bv
                         || (cv == bv && cost.energy_pj < b.energy_pj)
-                        || (cv == bv && cost.energy_pj == b.energy_pj && cost.latency_cycles < b.latency_cycles)
+                        || (cv == bv
+                            && cost.energy_pj == b.energy_pj
+                            && cost.latency_cycles < b.latency_cycles)
                 }
             };
             if better {
@@ -105,7 +119,11 @@ impl LomaMapper {
     /// Evaluates a problem under a fixed, user-supplied loop ordering
     /// (innermost first). Used by the validation experiment, where the
     /// temporal mapping is pinned to the one implemented by the DepFiN chip.
-    pub fn evaluate_fixed_order(&self, problem: &SingleLayerProblem<'_>, order: &[Dim]) -> LayerCost {
+    pub fn evaluate_fixed_order(
+        &self,
+        problem: &SingleLayerProblem<'_>,
+        order: &[Dim],
+    ) -> LayerCost {
         let mapping = TemporalMapping::from_order(problem, order);
         evaluate(problem, &mapping)
     }
@@ -140,8 +158,10 @@ mod tests {
         let acc = zoo::tpu_like();
         let l = layer();
         let p = SingleLayerProblem::new(&acc, &l);
-        let e = LomaMapper::new(MapperConfig::default().with_objective(Objective::Energy)).optimize(&p);
-        let t = LomaMapper::new(MapperConfig::default().with_objective(Objective::Latency)).optimize(&p);
+        let e =
+            LomaMapper::new(MapperConfig::default().with_objective(Objective::Energy)).optimize(&p);
+        let t = LomaMapper::new(MapperConfig::default().with_objective(Objective::Latency))
+            .optimize(&p);
         assert!(t.latency_cycles <= e.latency_cycles + 1e-6);
         assert!(e.energy_pj <= t.energy_pj + 1e-6);
     }
@@ -154,7 +174,10 @@ mod tests {
         let full = LomaMapper::default().optimize(&p);
         let fast = LomaMapper::new(MapperConfig::fast()).optimize(&p);
         assert!(fast.energy_pj >= full.energy_pj - 1e-6);
-        assert!(fast.energy_pj <= full.energy_pj * 1.25, "fast mapper too far off");
+        assert!(
+            fast.energy_pj <= full.energy_pj * 1.25,
+            "fast mapper too far off"
+        );
     }
 
     #[test]

@@ -128,7 +128,12 @@ impl<'a> SingleLayerProblem<'a> {
         match self.op {
             OpType::Conv => self.dims.total_macs(),
             OpType::DepthwiseConv | OpType::Pooling => {
-                self.dims.b * self.dims.k * self.dims.ox * self.dims.oy * self.dims.fx * self.dims.fy
+                self.dims.b
+                    * self.dims.k
+                    * self.dims.ox
+                    * self.dims.oy
+                    * self.dims.fx
+                    * self.dims.fy
             }
             OpType::Add => self.dims.output_elements(),
         }

@@ -50,7 +50,10 @@ impl TemporalMapping {
             let spatial = unrolling.factor(dim);
             let temporal = total.div_ceil(spatial);
             if temporal > 1 {
-                loops.push(TemporalLoop { dim, size: temporal });
+                loops.push(TemporalLoop {
+                    dim,
+                    size: temporal,
+                });
             }
         }
         Self { loops }
@@ -127,7 +130,10 @@ impl fmt::Display for TemporalMapping {
 /// Generates candidate loop orderings (innermost-first permutations of the
 /// dimensions that have a non-trivial temporal trip count), capped at
 /// `max_orderings` by deterministic subsampling.
-pub fn candidate_orderings(problem: &SingleLayerProblem<'_>, max_orderings: usize) -> Vec<Vec<Dim>> {
+pub fn candidate_orderings(
+    problem: &SingleLayerProblem<'_>,
+    max_orderings: usize,
+) -> Vec<Vec<Dim>> {
     let unrolling = problem.accelerator.pe_array().unrolling();
     let dims: Vec<Dim> = Dim::SPATIAL_AND_CHANNEL
         .iter()
@@ -195,7 +201,8 @@ mod tests {
     fn below_product_counts_only_inner_loops() {
         let (acc, layer) = problem_for(LayerDims::conv(64, 4, 16, 16, 3, 3));
         let p = SingleLayerProblem::new(&acc, &layer);
-        let m = TemporalMapping::from_order(&p, &[Dim::OX, Dim::OY, Dim::K, Dim::C, Dim::FX, Dim::FY]);
+        let m =
+            TemporalMapping::from_order(&p, &[Dim::OX, Dim::OY, Dim::K, Dim::C, Dim::FX, Dim::FY]);
         assert_eq!(m.below_product(Dim::OX, 1), 4);
         assert_eq!(m.below_product(Dim::OX, 0), 1);
         assert_eq!(m.below_product(Dim::K, 2), 1);

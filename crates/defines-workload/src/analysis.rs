@@ -52,7 +52,7 @@ impl WorkloadSummary {
         }
         Self {
             layer_count: net.len(),
-            avg_feature_map_bytes: if act_layers == 0 { 0 } else { total_fm / act_layers },
+            avg_feature_map_bytes: total_fm.checked_div(act_layers).unwrap_or(0),
             max_feature_map_bytes: max_fm,
             total_weight_bytes: total_w,
             total_macs,

@@ -135,10 +135,20 @@ impl Layer {
             // Depthwise convolution: each output channel convolves only its own
             // input channel, so the C loop collapses to 1.
             OpType::DepthwiseConv => {
-                self.dims.b * self.dims.k * self.dims.ox * self.dims.oy * self.dims.fx * self.dims.fy
+                self.dims.b
+                    * self.dims.k
+                    * self.dims.ox
+                    * self.dims.oy
+                    * self.dims.fx
+                    * self.dims.fy
             }
             OpType::Pooling => {
-                self.dims.b * self.dims.k * self.dims.ox * self.dims.oy * self.dims.fx * self.dims.fy
+                self.dims.b
+                    * self.dims.k
+                    * self.dims.ox
+                    * self.dims.oy
+                    * self.dims.fx
+                    * self.dims.fy
             }
             OpType::Add => self.dims.output_elements(),
         }
@@ -220,7 +230,11 @@ mod tests {
 
     #[test]
     fn pooling_has_no_weights() {
-        let l = Layer::new("p", OpType::Pooling, LayerDims::conv(64, 64, 28, 28, 2, 2).with_stride(2, 2));
+        let l = Layer::new(
+            "p",
+            OpType::Pooling,
+            LayerDims::conv(64, 64, 28, 28, 2, 2).with_stride(2, 2),
+        );
         assert_eq!(l.weight_elements(), 0);
         assert!(!l.op.has_weights());
         assert_eq!(l.macs(), 64 * 28 * 28 * 4);

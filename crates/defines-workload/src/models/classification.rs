@@ -15,14 +15,17 @@ pub fn mobilenet_v1() -> Network {
 
     let mut add = |name: &str, op: OpType, dims: LayerDims, prev: Option<LayerId>| -> LayerId {
         let preds: Vec<LayerId> = prev.into_iter().collect();
-        net.add_layer(Layer::new(name, op, dims), &preds).expect("valid chain")
+        net.add_layer(Layer::new(name, op, dims), &preds)
+            .expect("valid chain")
     };
 
     // Initial strided convolution: 224x224x3 -> 112x112x32.
     let mut prev = add(
         "conv1",
         OpType::Conv,
-        LayerDims::conv(32, 3, 112, 112, 3, 3).with_stride(2, 2).with_padding(1, 1),
+        LayerDims::conv(32, 3, 112, 112, 3, 3)
+            .with_stride(2, 2)
+            .with_padding(1, 1),
         None,
     );
 
@@ -92,20 +95,25 @@ pub fn resnet18() -> Network {
     let mut net = Network::new("ResNet18");
 
     let mut add = |name: &str, op: OpType, dims: LayerDims, preds: &[LayerId]| -> LayerId {
-        net.add_layer(Layer::new(name, op, dims), preds).expect("valid DAG")
+        net.add_layer(Layer::new(name, op, dims), preds)
+            .expect("valid DAG")
     };
 
     // Stem: conv 7x7/2 (112x112x64) + maxpool 3x3/2 (56x56x64).
     let stem = add(
         "conv1",
         OpType::Conv,
-        LayerDims::conv(64, 3, 112, 112, 7, 7).with_stride(2, 2).with_padding(3, 3),
+        LayerDims::conv(64, 3, 112, 112, 7, 7)
+            .with_stride(2, 2)
+            .with_padding(3, 3),
         &[],
     );
     let mut prev = add(
         "maxpool",
         OpType::Pooling,
-        LayerDims::conv(64, 64, 56, 56, 3, 3).with_stride(2, 2).with_padding(1, 1),
+        LayerDims::conv(64, 64, 56, 56, 3, 3)
+            .with_stride(2, 2)
+            .with_padding(1, 1),
         &[stem],
     );
 
@@ -156,7 +164,12 @@ pub fn resnet18() -> Network {
         LayerDims::conv(512, 512, 1, 1, 7, 7).with_stride(7, 7),
         &[prev],
     );
-    let _fc = add("fc", OpType::Conv, LayerDims::conv(1000, 512, 1, 1, 1, 1), &[pool]);
+    let _fc = add(
+        "fc",
+        OpType::Conv,
+        LayerDims::conv(1000, 512, 1, 1, 1, 1),
+        &[pool],
+    );
     net
 }
 
@@ -174,7 +187,11 @@ mod tests {
 
     #[test]
     fn mobilenet_weight_total_close_to_4mb() {
-        let total: u64 = mobilenet_v1().layers().iter().map(|l| l.weight_bytes()).sum();
+        let total: u64 = mobilenet_v1()
+            .layers()
+            .iter()
+            .map(|l| l.weight_bytes())
+            .sum();
         let mb = total as f64 / (1024.0 * 1024.0);
         assert!((3.0..6.0).contains(&mb), "MobileNetV1 weights = {mb:.2} MB");
     }
@@ -198,7 +215,11 @@ mod tests {
         // Adds have two predecessors.
         for id in net.layer_ids() {
             if net.layer(id).op == OpType::Add {
-                assert_eq!(net.predecessors(id).len(), 2, "add layer must join two branches");
+                assert_eq!(
+                    net.predecessors(id).len(),
+                    2,
+                    "add layer must join two branches"
+                );
             }
         }
     }

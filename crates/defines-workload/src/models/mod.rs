@@ -64,7 +64,11 @@ mod tests {
     fn fsrcnn_matches_table_1b_regime() {
         let s = WorkloadSummary::of(&fsrcnn());
         // Table I(b): 15.6 KB weights, 28.5 MB max feature map, 10.9 MB average.
-        assert!(s.total_weight_bytes < 32 * 1024, "weights {}", s.total_weight_bytes);
+        assert!(
+            s.total_weight_bytes < 32 * 1024,
+            "weights {}",
+            s.total_weight_bytes
+        );
         assert!(s.max_feature_map_bytes > 20 * 1024 * 1024);
         assert!(s.avg_feature_map_bytes > 5 * 1024 * 1024);
     }

@@ -5,6 +5,7 @@ use crate::dims::LayerDims;
 use crate::layer::{Layer, LayerId, OpType};
 use crate::network::Network;
 
+#[allow(clippy::too_many_arguments)]
 fn chain_conv(
     net: &mut Network,
     prev: Option<LayerId>,
@@ -61,7 +62,16 @@ pub fn dmcnn_vd() -> Network {
     let (w, h) = (768, 576);
     let mut prev = chain_conv(&mut net, None, "conv1_3x3", 64, 4, w, h, 3);
     for i in 2..=19 {
-        prev = chain_conv(&mut net, Some(prev), &format!("conv{i}_3x3"), 64, 64, w, h, 3);
+        prev = chain_conv(
+            &mut net,
+            Some(prev),
+            &format!("conv{i}_3x3"),
+            64,
+            64,
+            w,
+            h,
+            3,
+        );
     }
     let _last = chain_conv(&mut net, Some(prev), "conv20_output", 12, 64, w, h, 3);
     net
@@ -76,7 +86,16 @@ pub fn mccnn() -> Network {
     let (w, h) = (1280, 720);
     let mut prev = chain_conv(&mut net, None, "conv1_3x3", 32, 1, w, h, 3);
     for i in 2..=12 {
-        prev = chain_conv(&mut net, Some(prev), &format!("conv{i}_3x3"), 32, 32, w, h, 3);
+        prev = chain_conv(
+            &mut net,
+            Some(prev),
+            &format!("conv{i}_3x3"),
+            32,
+            32,
+            w,
+            h,
+            3,
+        );
     }
     let _last = chain_conv(&mut net, Some(prev), "similarity_1x1", 1, 32, w, h, 1);
     net
@@ -90,7 +109,16 @@ pub fn reference_net() -> Network {
     let (w, h) = (1280, 720);
     let mut prev = chain_conv(&mut net, None, "conv1_3x3", 32, 3, w, h, 3);
     for i in 2..=10 {
-        prev = chain_conv(&mut net, Some(prev), &format!("conv{i}_3x3"), 32, 32, w, h, 3);
+        prev = chain_conv(
+            &mut net,
+            Some(prev),
+            &format!("conv{i}_3x3"),
+            32,
+            32,
+            w,
+            h,
+            3,
+        );
     }
     let _last = chain_conv(&mut net, Some(prev), "conv11_1x1", 16, 32, w, h, 1);
     net

@@ -25,7 +25,10 @@ impl fmt::Display for NetworkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetworkError::UnknownPredecessor { layer, predecessor } => {
-                write!(f, "layer {layer} references unknown predecessor {predecessor}")
+                write!(
+                    f,
+                    "layer {layer} references unknown predecessor {predecessor}"
+                )
             }
             NetworkError::SelfLoop(l) => write!(f, "layer {l} references itself as predecessor"),
             NetworkError::Empty => write!(f, "network contains no layers"),
@@ -277,14 +280,18 @@ mod tests {
     #[test]
     fn unknown_predecessor_rejected() {
         let mut net = Network::new("bad");
-        let err = net.add_layer(conv("a", 8, 3, 32), &[LayerId(5)]).unwrap_err();
+        let err = net
+            .add_layer(conv("a", 8, 3, 32), &[LayerId(5)])
+            .unwrap_err();
         assert!(matches!(err, NetworkError::UnknownPredecessor { .. }));
     }
 
     #[test]
     fn self_loop_rejected() {
         let mut net = Network::new("bad");
-        let err = net.add_layer(conv("a", 8, 3, 32), &[LayerId(0)]).unwrap_err();
+        let err = net
+            .add_layer(conv("a", 8, 3, 32), &[LayerId(0)])
+            .unwrap_err();
         assert_eq!(err, NetworkError::SelfLoop(LayerId(0)));
     }
 

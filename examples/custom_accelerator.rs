@@ -2,7 +2,7 @@
 //! depth-first schedule — the "experiment customization" workflow of the
 //! paper's artifact appendix.
 //!
-//! Run with: `cargo run --release -p defines-core --example custom_accelerator`
+//! Run with: `cargo run --release --example custom_accelerator`
 
 use defines_arch::{AcceleratorBuilder, MemoryLevel, Operand, SpatialUnrolling};
 use defines_core::{DfCostModel, Explorer, OptimizeTarget, OverlapMode};
@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .add_level(MemoryLevel::register("W_reg", 512, [Operand::Weight]))
         .add_level(MemoryLevel::register("O_reg", 2048, [Operand::Output]))
-        .add_level(MemoryLevel::sram("LB_IO", 48 * 1024, [Operand::Input, Operand::Output]))
+        .add_level(MemoryLevel::sram(
+            "LB_IO",
+            48 * 1024,
+            [Operand::Input, Operand::Output],
+        ))
         .add_level(MemoryLevel::sram("LB_W", 256 * 1024, [Operand::Weight]))
         .add_level(MemoryLevel::sram("GB", 1024 * 1024, Operand::ALL))
         .build()?;
@@ -41,15 +45,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let explorer = Explorer::new(&model);
     let tiles = [(8, 8), (32, 32), (64, 64), (128, 128), (512, 512)];
 
-    let best_energy =
-        explorer.best_single_strategy(&network, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)?;
-    let best_latency =
-        explorer.best_single_strategy(&network, &tiles, &OverlapMode::ALL, OptimizeTarget::Latency)?;
+    let best_energy = explorer.best_single_strategy(
+        &network,
+        &tiles,
+        &OverlapMode::ALL,
+        OptimizeTarget::Energy,
+    )?;
+    let best_latency = explorer.best_single_strategy(
+        &network,
+        &tiles,
+        &OverlapMode::ALL,
+        OptimizeTarget::Latency,
+    )?;
     let (sl, lbl) = explorer.baselines(&network)?;
 
     println!("workload: {} on {}", network.name(), accelerator.name());
-    println!("single-layer       : {:>8.3} mJ, {:>8.2} Mcycles", sl.energy_mj(), sl.latency_mcycles());
-    println!("layer-by-layer     : {:>8.3} mJ, {:>8.2} Mcycles", lbl.energy_mj(), lbl.latency_mcycles());
+    println!(
+        "single-layer       : {:>8.3} mJ, {:>8.2} Mcycles",
+        sl.energy_mj(),
+        sl.latency_mcycles()
+    );
+    println!(
+        "layer-by-layer     : {:>8.3} mJ, {:>8.2} Mcycles",
+        lbl.energy_mj(),
+        lbl.latency_mcycles()
+    );
     println!(
         "best DF (energy)   : {:>8.3} mJ, {:>8.2} Mcycles  <- {}",
         best_energy.cost.energy_mj(),

@@ -2,7 +2,7 @@
 //! study 1): sweep tile sizes and overlap-storing modes, print the energy
 //! table and the best point.
 //!
-//! Run with: `cargo run --release -p defines-core --example explore_fsrcnn`
+//! Run with: `cargo run --release --example explore_fsrcnn`
 
 use defines_arch::zoo;
 use defines_core::{DfCostModel, Explorer, OptimizeTarget, OverlapMode};
@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for mode in OverlapMode::ALL {
         println!("\n=== {mode} ===");
-        println!("{:>14} {:>12} {:>18}", "tile (Tx,Ty)", "energy (mJ)", "latency (Mcycles)");
+        println!(
+            "{:>14} {:>12} {:>18}",
+            "tile (Tx,Ty)", "energy (mJ)", "latency (Mcycles)"
+        );
         let results = explorer.sweep(&network, &tile_sizes, &[mode])?;
         for r in &results {
             println!(

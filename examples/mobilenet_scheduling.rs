@@ -3,7 +3,7 @@
 //! with layer-by-layer processing for the late, weight-dominant layers
 //! (case study 2).
 //!
-//! Run with: `cargo run --release -p defines-core --example mobilenet_scheduling`
+//! Run with: `cargo run --release --example mobilenet_scheduling`
 
 use defines_arch::zoo;
 use defines_core::{DfCostModel, DfStrategy, Explorer, OptimizeTarget, OverlapMode, TileSize};
@@ -36,9 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     // Let every stack pick its own tile size and overlap mode.
     let tiles = [(7, 7), (14, 14), (28, 28), (56, 56), (112, 112)];
-    let combo = explorer.best_combination(&network, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)?;
+    let combo =
+        explorer.best_combination(&network, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)?;
 
-    println!("\n{:<38} {:>12} {:>18}", "strategy", "energy (mJ)", "latency (Mcycles)");
+    println!(
+        "\n{:<38} {:>12} {:>18}",
+        "strategy", "energy (mJ)", "latency (Mcycles)"
+    );
     for (name, cost) in [
         ("single-layer", &sl),
         ("layer-by-layer", &lbl),

@@ -2,7 +2,7 @@
 //! Meta-prototype-like DF accelerator and compare it against single-layer and
 //! layer-by-layer scheduling.
 //!
-//! Run with: `cargo run --release -p defines-core --example quickstart`
+//! Run with: `cargo run --release --example quickstart`
 
 use defines_arch::zoo;
 use defines_core::{DfCostModel, DfStrategy, OverlapMode, TileSize};

@@ -10,11 +10,19 @@ use defines_workload::models;
 /// except that feature maps may stay in lower memory levels.
 #[test]
 fn lbl_never_worse_than_sl() {
-    for acc in [zoo::meta_proto_like_df(), zoo::tpu_like(), zoo::tesla_npu_like_df()] {
+    for acc in [
+        zoo::meta_proto_like_df(),
+        zoo::tpu_like(),
+        zoo::tesla_npu_like_df(),
+    ] {
         let model = DfCostModel::new(&acc).with_fast_mapper();
         for net in [models::fsrcnn(), models::mobilenet_v1()] {
-            let sl = model.evaluate_network(&net, &DfStrategy::single_layer()).unwrap();
-            let lbl = model.evaluate_network(&net, &DfStrategy::layer_by_layer()).unwrap();
+            let sl = model
+                .evaluate_network(&net, &DfStrategy::single_layer())
+                .unwrap();
+            let lbl = model
+                .evaluate_network(&net, &DfStrategy::layer_by_layer())
+                .unwrap();
             assert!(
                 lbl.energy_pj <= sl.energy_pj * 1.001,
                 "{} on {}: LBL {} vs SL {}",
@@ -36,7 +44,9 @@ fn best_df_beats_lbl_on_df_friendly_hardware() {
         let model = DfCostModel::new(&acc).with_fast_mapper();
         let explorer = Explorer::new(&model);
         let net = models::fsrcnn();
-        let lbl = model.evaluate_network(&net, &DfStrategy::layer_by_layer()).unwrap();
+        let lbl = model
+            .evaluate_network(&net, &DfStrategy::layer_by_layer())
+            .unwrap();
         let best = explorer
             .best_single_strategy(&net, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)
             .unwrap();
@@ -57,7 +67,10 @@ fn best_df_beats_lbl_on_df_friendly_hardware() {
 fn df_variants_do_not_regress_under_df_scheduling() {
     let tiles = [(60, 72), (120, 135)];
     let net = models::fsrcnn();
-    for (baseline, variant) in zoo::baseline_architectures().into_iter().zip(zoo::df_architectures()) {
+    for (baseline, variant) in zoo::baseline_architectures()
+        .into_iter()
+        .zip(zoo::df_architectures())
+    {
         let base_model = DfCostModel::new(&baseline).with_fast_mapper();
         let var_model = DfCostModel::new(&variant).with_fast_mapper();
         let base_best = Explorer::new(&base_model)

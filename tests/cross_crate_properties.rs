@@ -13,10 +13,10 @@ use proptest::prelude::*;
 
 fn arb_layer_dims() -> impl Strategy<Value = LayerDims> {
     (
-        1u64..=64,  // k
-        1u64..=32,  // c
-        4u64..=96,  // ox
-        4u64..=96,  // oy
+        1u64..=64, // k
+        1u64..=32, // c
+        4u64..=96, // ox
+        4u64..=96, // oy
         prop::sample::select(vec![1u64, 3, 5]),
         prop::sample::select(vec![1u64, 2]),
     )
@@ -32,8 +32,10 @@ fn two_layer_net(d1: LayerDims, k2: u64, f2: u64) -> Network {
     let a = net
         .add_layer(Layer::new("a", OpType::Conv, d1), &[])
         .unwrap();
-    let d2 = LayerDims::conv(k2, d1.k, d1.ox, d1.oy, f2, f2).with_padding((f2 - 1) / 2, (f2 - 1) / 2);
-    net.add_layer(Layer::new("b", OpType::Conv, d2), &[a]).unwrap();
+    let d2 =
+        LayerDims::conv(k2, d1.k, d1.ox, d1.oy, f2, f2).with_padding((f2 - 1) / 2, (f2 - 1) / 2);
+    net.add_layer(Layer::new("b", OpType::Conv, d2), &[a])
+        .unwrap();
     net
 }
 

@@ -40,7 +40,9 @@ fn depth_first_reduces_dram_traffic_everywhere() {
     let net = models::fsrcnn();
     for acc in zoo::df_architectures() {
         let model = DfCostModel::new(&acc).with_fast_mapper();
-        let sl = model.evaluate_network(&net, &DfStrategy::single_layer()).unwrap();
+        let sl = model
+            .evaluate_network(&net, &DfStrategy::single_layer())
+            .unwrap();
         let df = model
             .evaluate_network(
                 &net,
@@ -65,9 +67,13 @@ fn mac_count_conservation() {
     let model = DfCostModel::new(&acc).with_fast_mapper();
     for net in [models::fsrcnn(), models::mobilenet_v1()] {
         let expected: u64 = net.layers().iter().map(|l| l.macs()).sum();
-        let sl = model.evaluate_network(&net, &DfStrategy::single_layer()).unwrap();
+        let sl = model
+            .evaluate_network(&net, &DfStrategy::single_layer())
+            .unwrap();
         assert_eq!(sl.macs, expected, "{} SL", net.name());
-        let lbl = model.evaluate_network(&net, &DfStrategy::layer_by_layer()).unwrap();
+        let lbl = model
+            .evaluate_network(&net, &DfStrategy::layer_by_layer())
+            .unwrap();
         assert_eq!(lbl.macs, expected, "{} LBL", net.name());
         let fc = model
             .evaluate_network(
@@ -138,6 +144,10 @@ fn depfin_validation_setup_runs() {
         let strategy =
             DfStrategy::depth_first(TileSize::new(last.dims.ox, 8), OverlapMode::FullyCached);
         let cost = model.evaluate_network(&net, &strategy).unwrap();
-        assert!(cost.energy_pj > 0.0 && cost.latency_cycles > 0.0, "{}", net.name());
+        assert!(
+            cost.energy_pj > 0.0 && cost.latency_cycles > 0.0,
+            "{}",
+            net.name()
+        );
     }
 }

@@ -25,8 +25,14 @@ fn fig12_mode_ordering_holds_per_tile_size() {
         let fr = fsrcnn_energy(&model, tx, ty, OverlapMode::FullyRecompute);
         let hc = fsrcnn_energy(&model, tx, ty, OverlapMode::HCachedVRecompute);
         let fc = fsrcnn_energy(&model, tx, ty, OverlapMode::FullyCached);
-        assert!(fc <= hc * 1.001, "tile ({tx},{ty}): fully-cached {fc} vs H-cached {hc}");
-        assert!(hc <= fr * 1.001, "tile ({tx},{ty}): H-cached {hc} vs recompute {fr}");
+        assert!(
+            fc <= hc * 1.001,
+            "tile ({tx},{ty}): fully-cached {fc} vs H-cached {hc}"
+        );
+        assert!(
+            hc <= fr * 1.001,
+            "tile ({tx},{ty}): H-cached {hc} vs recompute {fr}"
+        );
     }
 }
 
@@ -56,7 +62,12 @@ fn fig12_intermediate_tiles_win_with_large_spread() {
     let full = fsrcnn_energy(&model, 960, 540, OverlapMode::FullyCached);
     assert!(mid < tiny, "mid {mid} vs tiny {tiny}");
     assert!(mid < full, "mid {mid} vs full {full}");
-    assert!(tiny.max(full) / mid > 10.0, "spread too small: {} / {}", tiny.max(full), mid);
+    assert!(
+        tiny.max(full) / mid > 10.0,
+        "spread too small: {} / {}",
+        tiny.max(full),
+        mid
+    );
 }
 
 /// Fig. 13: recompute overhead ordering and the fully-cached mode matching the
@@ -68,9 +79,15 @@ fn fig13_mac_overhead_ordering() {
     let net = models::fsrcnn();
     let lbl_macs: u64 = net.layers().iter().map(|l| l.macs()).sum();
     let strategy = |m| DfStrategy::depth_first(TileSize::new(4, 4), m);
-    let fr = model.evaluate_network(&net, &strategy(OverlapMode::FullyRecompute)).unwrap();
-    let hc = model.evaluate_network(&net, &strategy(OverlapMode::HCachedVRecompute)).unwrap();
-    let fc = model.evaluate_network(&net, &strategy(OverlapMode::FullyCached)).unwrap();
+    let fr = model
+        .evaluate_network(&net, &strategy(OverlapMode::FullyRecompute))
+        .unwrap();
+    let hc = model
+        .evaluate_network(&net, &strategy(OverlapMode::HCachedVRecompute))
+        .unwrap();
+    let fc = model
+        .evaluate_network(&net, &strategy(OverlapMode::FullyCached))
+        .unwrap();
     assert_eq!(fc.macs, lbl_macs);
     assert!(hc.macs > fc.macs);
     assert!(fr.macs > hc.macs);
@@ -85,7 +102,9 @@ fn fig16_gains_over_single_layer() {
     let acc = zoo::meta_proto_like_df();
     let model = DfCostModel::new(&acc).with_fast_mapper();
     let fsrcnn = models::fsrcnn();
-    let sl = model.evaluate_network(&fsrcnn, &DfStrategy::single_layer()).unwrap();
+    let sl = model
+        .evaluate_network(&fsrcnn, &DfStrategy::single_layer())
+        .unwrap();
     let df = model
         .evaluate_network(
             &fsrcnn,
@@ -93,7 +112,10 @@ fn fig16_gains_over_single_layer() {
         )
         .unwrap();
     let gain = sl.energy_pj / df.energy_pj;
-    assert!(gain > 5.0, "FSRCNN DF gain over SL = {gain:.2}x (paper: ~10x)");
+    assert!(
+        gain > 5.0,
+        "FSRCNN DF gain over SL = {gain:.2}x (paper: ~10x)"
+    );
 }
 
 /// Fig. 17: the TPU-like baseline, lacking any on-chip weight buffer, barely
@@ -106,12 +128,16 @@ fn fig17_tpu_needs_weight_buffer_for_df() {
 
     let tpu = zoo::tpu_like();
     let model = DfCostModel::new(&tpu).with_fast_mapper();
-    let lbl_tpu = model.evaluate_network(&net, &DfStrategy::layer_by_layer()).unwrap();
+    let lbl_tpu = model
+        .evaluate_network(&net, &DfStrategy::layer_by_layer())
+        .unwrap();
     let df_tpu = model.evaluate_network(&net, &strategy).unwrap();
 
     let tpu_df = zoo::tpu_like_df();
     let model_df = DfCostModel::new(&tpu_df).with_fast_mapper();
-    let lbl_tpudf = model_df.evaluate_network(&net, &DfStrategy::layer_by_layer()).unwrap();
+    let lbl_tpudf = model_df
+        .evaluate_network(&net, &DfStrategy::layer_by_layer())
+        .unwrap();
     let df_tpudf = model_df.evaluate_network(&net, &strategy).unwrap();
 
     let gain_baseline = lbl_tpu.energy_pj / df_tpu.energy_pj;
@@ -120,7 +146,10 @@ fn fig17_tpu_needs_weight_buffer_for_df() {
         gain_df_variant > gain_baseline,
         "DF-friendly TPU variant should benefit more from DF: {gain_df_variant:.2}x vs {gain_baseline:.2}x"
     );
-    assert!(gain_df_variant > 2.0, "TPU-like DF should gain substantially: {gain_df_variant:.2}x");
+    assert!(
+        gain_df_variant > 2.0,
+        "TPU-like DF should gain substantially: {gain_df_variant:.2}x"
+    );
 }
 
 /// Fig. 18(c): ignoring weight traffic pushes the optimizer to tiny tiles; for
@@ -132,9 +161,22 @@ fn fig18_weight_blind_optimization_is_costly() {
     let model = DfCostModel::new(&acc).with_fast_mapper();
     let net = models::resnet18();
     let tiles = [(2, 2), (7, 7), (28, 28), (56, 56)];
-    let act_only =
-        run_baseline(&model, &net, BaselineKind::ActivationsOnly, &tiles, &OverlapMode::ALL).unwrap();
-    let full = run_baseline(&model, &net, BaselineKind::FullModel, &tiles, &OverlapMode::ALL).unwrap();
+    let act_only = run_baseline(
+        &model,
+        &net,
+        BaselineKind::ActivationsOnly,
+        &tiles,
+        &OverlapMode::ALL,
+    )
+    .unwrap();
+    let full = run_baseline(
+        &model,
+        &net,
+        BaselineKind::FullModel,
+        &tiles,
+        &OverlapMode::ALL,
+    )
+    .unwrap();
     assert!(
         full.cost.energy_pj <= act_only.cost.energy_pj,
         "full model {} must not lose to activation-only {}",

@@ -1,0 +1,334 @@
+//! Offline stand-in for [clap](https://docs.rs/clap).
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the clap builder-API subset the workspace's CLI uses: [`Command`] /
+//! [`Arg`] construction with long flags, value names, defaults and help
+//! text; boolean flags via [`ArgAction::SetTrue`]; automatic `--help`; and
+//! [`ArgMatches`] lookup with [`ArgMatches::value_of`] / detailed parse
+//! errors that exit with the conventional status code 2.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// What an argument does when present on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArgAction {
+    /// Takes one value (`--flag VALUE`).
+    #[default]
+    Set,
+    /// Boolean flag (`--flag` sets it to true).
+    SetTrue,
+}
+
+/// One command-line argument definition.
+#[derive(Debug, Clone, Default)]
+pub struct Arg {
+    id: String,
+    long: Option<String>,
+    short: Option<char>,
+    value_name: Option<String>,
+    default_value: Option<String>,
+    help: Option<String>,
+    action: ArgAction,
+}
+
+impl Arg {
+    /// Creates an argument with the given id.
+    pub fn new(id: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the `--long` flag name.
+    pub fn long(mut self, name: impl Into<String>) -> Self {
+        self.long = Some(name.into());
+        self
+    }
+
+    /// Sets the `-s` short flag name.
+    pub fn short(mut self, c: char) -> Self {
+        self.short = Some(c);
+        self
+    }
+
+    /// Sets the placeholder shown in help output.
+    pub fn value_name(mut self, name: impl Into<String>) -> Self {
+        self.value_name = Some(name.into());
+        self
+    }
+
+    /// Sets the value used when the flag is absent.
+    pub fn default_value(mut self, value: impl Into<String>) -> Self {
+        self.default_value = Some(value.into());
+        self
+    }
+
+    /// Sets the help text.
+    pub fn help(mut self, text: impl Into<String>) -> Self {
+        self.help = Some(text.into());
+        self
+    }
+
+    /// Sets the argument's action (flag vs. value).
+    pub fn action(mut self, action: ArgAction) -> Self {
+        self.action = action;
+        self
+    }
+}
+
+/// A command-line interface definition.
+#[derive(Debug, Clone, Default)]
+pub struct Command {
+    name: String,
+    about: Option<String>,
+    version: Option<String>,
+    args: Vec<Arg>,
+}
+
+impl Command {
+    /// Creates a command with the given binary name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the description shown at the top of help output.
+    pub fn about(mut self, text: impl Into<String>) -> Self {
+        self.about = Some(text.into());
+        self
+    }
+
+    /// Sets the version printed by `--version`.
+    pub fn version(mut self, v: impl Into<String>) -> Self {
+        self.version = Some(v.into());
+        self
+    }
+
+    /// Adds an argument definition.
+    pub fn arg(mut self, arg: Arg) -> Self {
+        self.args.push(arg);
+        self
+    }
+
+    /// Parses `std::env::args`, exiting on `--help`, `--version` or errors.
+    pub fn get_matches(self) -> ArgMatches {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match self.try_get_matches_from_vec(&argv) {
+            Ok(m) => m,
+            Err(ParseOutcome::Help(text)) | Err(ParseOutcome::Version(text)) => {
+                println!("{text}");
+                std::process::exit(0);
+            }
+            Err(ParseOutcome::Error(msg)) => {
+                eprintln!("error: {msg}\n\n{}", self.usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (used by tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags, missing values, or help/version
+    /// requests.
+    pub fn try_get_matches_from(
+        self,
+        argv: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<ArgMatches, String> {
+        let argv: Vec<String> = argv.into_iter().map(Into::into).collect();
+        self.try_get_matches_from_vec(&argv).map_err(|o| match o {
+            ParseOutcome::Help(t) | ParseOutcome::Version(t) => t,
+            ParseOutcome::Error(e) => e,
+        })
+    }
+
+    fn try_get_matches_from_vec(&self, argv: &[String]) -> Result<ArgMatches, ParseOutcome> {
+        let mut values: BTreeMap<String, String> = BTreeMap::new();
+        let mut flags: BTreeMap<String, bool> = BTreeMap::new();
+        for arg in &self.args {
+            if let Some(d) = &arg.default_value {
+                values.insert(arg.id.clone(), d.clone());
+            }
+            if arg.action == ArgAction::SetTrue {
+                flags.insert(arg.id.clone(), false);
+            }
+        }
+
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            if token == "--help" || token == "-h" {
+                return Err(ParseOutcome::Help(self.help_text()));
+            }
+            if token == "--version" || token == "-V" {
+                let v = self.version.clone().unwrap_or_else(|| "unknown".into());
+                return Err(ParseOutcome::Version(format!("{} {v}", self.name)));
+            }
+            let (flag, inline_value) = match token.strip_prefix("--") {
+                Some(rest) => match rest.split_once('=') {
+                    Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                    None => (rest.to_string(), None),
+                },
+                None => match token.strip_prefix('-') {
+                    Some(s) if s.len() == 1 => (s.to_string(), None),
+                    _ => {
+                        return Err(ParseOutcome::Error(format!(
+                            "unexpected positional argument '{token}'"
+                        )))
+                    }
+                },
+            };
+            let def = self
+                .args
+                .iter()
+                .find(|a| {
+                    a.long.as_deref() == Some(flag.as_str())
+                        || (flag.len() == 1 && a.short == flag.chars().next())
+                })
+                .ok_or_else(|| ParseOutcome::Error(format!("unknown flag '--{flag}'")))?;
+            match def.action {
+                ArgAction::SetTrue => {
+                    flags.insert(def.id.clone(), true);
+                    i += 1;
+                }
+                ArgAction::Set => {
+                    let value = match inline_value {
+                        Some(v) => v,
+                        None => {
+                            i += 1;
+                            argv.get(i).cloned().ok_or_else(|| {
+                                ParseOutcome::Error(format!("flag '--{flag}' needs a value"))
+                            })?
+                        }
+                    };
+                    values.insert(def.id.clone(), value);
+                    i += 1;
+                }
+            }
+        }
+
+        Ok(ArgMatches { values, flags })
+    }
+
+    fn usage(&self) -> String {
+        format!(
+            "Usage: {} [OPTIONS]\n\nFor details run: {} --help",
+            self.name, self.name
+        )
+    }
+
+    fn help_text(&self) -> String {
+        let mut out = String::new();
+        if let Some(about) = &self.about {
+            let _ = writeln!(out, "{about}\n");
+        }
+        let _ = writeln!(out, "Usage: {} [OPTIONS]\n\nOptions:", self.name);
+        for arg in &self.args {
+            let mut left = String::from("  ");
+            if let Some(s) = arg.short {
+                let _ = write!(left, "-{s}, ");
+            }
+            if let Some(l) = &arg.long {
+                let _ = write!(left, "--{l}");
+            }
+            if arg.action == ArgAction::Set {
+                let name = arg.value_name.clone().unwrap_or_else(|| "VALUE".into());
+                let _ = write!(left, " <{name}>");
+            }
+            let _ = write!(out, "{left:<34}");
+            if let Some(h) = &arg.help {
+                let _ = write!(out, "{h}");
+            }
+            if let Some(d) = &arg.default_value {
+                let _ = write!(out, " [default: {d}]");
+            }
+            out.push('\n');
+        }
+        let _ = write!(out, "  -h, --help{:<24}Print help", "");
+        out
+    }
+}
+
+enum ParseOutcome {
+    Help(String),
+    Version(String),
+    Error(String),
+}
+
+/// Parsed argument values.
+#[derive(Debug, Clone, Default)]
+pub struct ArgMatches {
+    values: BTreeMap<String, String>,
+    flags: BTreeMap<String, bool>,
+}
+
+impl ArgMatches {
+    /// The value of an argument, if present (explicitly or by default).
+    pub fn value_of(&self, id: &str) -> Option<&str> {
+        self.values.get(id).map(String::as_str)
+    }
+
+    /// Whether a [`ArgAction::SetTrue`] flag was passed.
+    pub fn get_flag(&self, id: &str) -> bool {
+        self.flags.get(id).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd() -> Command {
+        Command::new("sweep")
+            .about("test")
+            .version("1.0")
+            .arg(
+                Arg::new("workload")
+                    .long("workload")
+                    .default_value("fsrcnn"),
+            )
+            .arg(Arg::new("tilex").long("tilex").short('x'))
+            .arg(Arg::new("quiet").long("quiet").action(ArgAction::SetTrue))
+    }
+
+    #[test]
+    fn defaults_flags_and_values() {
+        let m = cmd()
+            .try_get_matches_from(["--tilex", "60", "--quiet"])
+            .unwrap();
+        assert_eq!(m.value_of("workload"), Some("fsrcnn"));
+        assert_eq!(m.value_of("tilex"), Some("60"));
+        assert!(m.get_flag("quiet"));
+    }
+
+    #[test]
+    fn equals_syntax_and_short_flags() {
+        let m = cmd()
+            .try_get_matches_from(["--workload=resnet18", "-x", "4"])
+            .unwrap();
+        assert_eq!(m.value_of("workload"), Some("resnet18"));
+        assert_eq!(m.value_of("tilex"), Some("4"));
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        assert!(cmd().try_get_matches_from(["--nope"]).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(cmd().try_get_matches_from(["--tilex"]).is_err());
+    }
+
+    #[test]
+    fn help_lists_flags() {
+        let err = cmd().try_get_matches_from(["--help"]).unwrap_err();
+        assert!(err.contains("--workload"));
+        assert!(err.contains("default: fsrcnn"));
+    }
+}

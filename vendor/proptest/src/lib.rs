@@ -1,0 +1,118 @@
+//! Offline stand-in for [proptest](https://proptest-rs.github.io/proptest).
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the proptest API subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, range and [`sample::select`]
+//! strategies, tuple composition, the `proptest!` macro (including
+//! `#![proptest_config(...)]`), and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Inputs are drawn from a deterministic xorshift generator seeded from the
+//! test name, so failures are reproducible run to run. Shrinking is not
+//! implemented — a failing case panics with its case number.
+
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::…` paths as used by the proptest prelude (`prop::sample::select`).
+pub mod prop {
+    pub use crate::sample;
+}
+
+pub use strategy::Strategy;
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// The common imports property tests start from.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }` runs
+/// `cases` times with fresh deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..config.cases {
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng); )*
+                    let run = || $body;
+                    run();
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u64..=9, b in 0usize..4) {
+            prop_assert!((3..=9).contains(&a));
+            prop_assert!(b < 4);
+        }
+
+        #[test]
+        fn map_and_select_compose(
+            x in (1u64..=4, 1u64..=4).prop_map(|(p, q)| p * q),
+            pick in prop::sample::select(vec![10u64, 20, 30]),
+        ) {
+            prop_assert!((1..=16).contains(&x));
+            prop_assert!(pick % 10 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::from_name("t");
+        let mut b = crate::TestRng::from_name("t");
+        let s = 0u64..100;
+        for _ in 0..10 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy picking uniformly from a fixed list of values.
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+/// Picks one of the given values uniformly at random.
+///
+/// # Panics
+///
+/// Panics at generation time if `items` is empty.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    Select { items }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.items.is_empty(), "select requires at least one item");
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}

@@ -1,0 +1,390 @@
+//! Offline stand-in for [serde](https://serde.rs).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this vendored crate provides the small serde subset the workspace relies
+//! on:
+//!
+//! * a [`Serialize`] trait producing a JSON-oriented [`Value`] data model,
+//! * a [`Deserialize`] marker trait (nothing in the workspace deserializes),
+//! * `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
+//!   proc-macro crate, matching serde's externally-tagged enum encoding,
+//! * implementations for the std types the workspace serializes (integers,
+//!   floats, strings, tuples, `Vec`, `Option`, maps, …).
+//!
+//! If the real serde ever becomes available the workspace can switch back by
+//! pointing the `serde`/`serde_json` workspace dependencies at crates.io; the
+//! call sites are API-compatible for everything used here.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// A JSON-like value: the serialization data model of this vendored serde.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point number (non-finite values render as `null`).
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Renders the value as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, None, 0);
+        out
+    }
+
+    /// Renders the value as pretty-printed JSON with two-space indentation.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write_json(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::I64(n) => out.push_str(&n.to_string()),
+            Value::F64(x) => {
+                if x.is_finite() {
+                    // Match serde_json: integral floats keep a trailing ".0".
+                    if *x == x.trunc() && x.abs() < 1e15 {
+                        out.push_str(&format!("{x:.1}"));
+                    } else {
+                        out.push_str(&x.to_string());
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_json_string(out, s),
+            Value::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write_json(out, indent, depth + 1);
+                });
+            }
+            Value::Object(entries) => {
+                write_seq(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                    let (k, v) = &entries[i];
+                    write_json_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write_json(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Types that can be serialized into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a serialization [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait mirroring serde's `Deserialize`.
+///
+/// The workspace only ever writes JSON, so this vendored stand-in does not
+/// implement parsing; the trait exists so `#[derive(Deserialize)]` on the
+/// workspace types keeps compiling.
+pub trait Deserialize {}
+
+// ---------------------------------------------------------------------------
+// Primitive and std implementations
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+impl_ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+    };
+}
+
+impl_ser_tuple!(A: 0);
+impl_ser_tuple!(A: 0, B: 1);
+impl_ser_tuple!(A: 0, B: 1, C: 2);
+impl_ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Maps serialize as JSON objects when their keys serialize to strings, and
+/// as arrays of `[key, value]` pairs otherwise (real serde errors on
+/// non-string keys; the workspace's composite keys are more useful kept
+/// structured).
+fn map_to_value(entries: impl Iterator<Item = (Value, Value)>) -> Value {
+    let pairs: Vec<(Value, Value)> = entries.collect();
+    if pairs.iter().all(|(k, _)| matches!(k, Value::Str(_))) {
+        Value::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| match k {
+                    Value::Str(s) => (s, v),
+                    _ => unreachable!(),
+                })
+                .collect(),
+        )
+    } else {
+        Value::Array(
+            pairs
+                .into_iter()
+                .map(|(k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for BTreeSet<T> {}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort elements by their rendered form.
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        items.sort_by_key(|item| item.to_json());
+        Value::Array(items)
+    }
+}
+impl<T: Deserialize> Deserialize for HashSet<T> {}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter().map(|(k, v)| (k.to_value(), v.to_value())))
+    }
+}
+impl<K: Deserialize, V: Deserialize> Deserialize for BTreeMap<K, V> {}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort entries by their rendered key.
+        let mut pairs: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        pairs.sort_by_key(|pair| pair.0.to_json());
+        map_to_value(pairs.into_iter())
+    }
+}
+impl<K: Deserialize, V: Deserialize> Deserialize for HashMap<K, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(1u64.to_value().to_json(), "1");
+        assert_eq!((-3i32).to_value().to_json(), "-3");
+        assert_eq!(true.to_value().to_json(), "true");
+        assert_eq!(2.5f64.to_value().to_json(), "2.5");
+        assert_eq!(2.0f64.to_value().to_json(), "2.0");
+        assert_eq!(f64::NAN.to_value().to_json(), "null");
+        assert_eq!("a\"b".to_value().to_json(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers_render() {
+        assert_eq!(vec![1u64, 2].to_value().to_json(), "[1,2]");
+        assert_eq!(Option::<u64>::None.to_value().to_json(), "null");
+        assert_eq!((1u64, "x".to_string()).to_value().to_json(), "[1,\"x\"]");
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 7u64);
+        assert_eq!(m.to_value().to_json(), "{\"k\":7}");
+        let mut tk = BTreeMap::new();
+        tk.insert((1u64, 2u64), 3u64);
+        assert_eq!(tk.to_value().to_json(), "[[[1,2],3]]");
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v = Value::Object(vec![("a".into(), Value::Array(vec![Value::U64(1)]))]);
+        assert_eq!(v.to_json_pretty(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+}

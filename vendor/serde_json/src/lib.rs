@@ -1,0 +1,52 @@
+//! Offline stand-in for [serde_json], rendering the vendored serde [`Value`]
+//! data model as JSON text. Only the writer half is implemented — nothing in
+//! the workspace parses JSON back.
+
+pub use serde::Value;
+
+use std::fmt;
+
+/// Serialization error (the vendored writer is infallible, but the signature
+/// mirrors serde_json so call sites using `?` keep compiling).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders a serializable value as compact JSON.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors serde_json's signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Renders a serializable value as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors serde_json's signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Converts a serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn vectors_round_trip_to_text() {
+        assert_eq!(super::to_string(&vec![1u64, 2, 3]).unwrap(), "[1,2,3]");
+        assert!(super::to_string_pretty(&vec![1u64]).unwrap().contains("\n"));
+    }
+}
