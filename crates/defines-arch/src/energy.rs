@@ -1,7 +1,7 @@
 //! Analytical energy model for memories and MACs.
 //!
 //! The paper extracts SRAM access costs with CACTI 7 and scales the MAC,
-//! register and DRAM costs with the factors reported by Interstellar [37].
+//! register and DRAM costs with the factors reported by Interstellar \[37\].
 //! CACTI is not available here, so this module substitutes an analytical fit
 //! with the same qualitative behaviour: access energy grows roughly with the
 //! square root of the macro capacity, registers are far cheaper than SRAM, and

@@ -1,0 +1,37 @@
+//! `export-workloads` — write the built-in model zoo as reference workload
+//! JSON files.
+//!
+//! ```text
+//! cargo run --release --bin export-workloads -- [DIR]
+//! ```
+//!
+//! Writes one `<name>.json` per zoo model (FSRCNN, DMCNN-VD, MC-CNN,
+//! MobileNetV1, ResNet18 and the validation reference network) into `DIR`
+//! (default `workloads/`). The files are fully explicit — no field is left
+//! to shape inference — and loading one back yields a network identical to
+//! its zoo constructor, which `tests/workload_frontend.rs` asserts.
+
+use defines_cli::{workload_by_name, WORKLOADS};
+use defines_workload::schema;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "workloads".to_string());
+    if let Err(message) = run(&dir) {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run(dir: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    for name in WORKLOADS {
+        let net = workload_by_name(name)?;
+        let json = schema::to_json_pretty(&net).map_err(|e| e.to_string())?;
+        let path = format!("{dir}/{name}.json");
+        std::fs::write(&path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path} ({} layers)", net.len());
+    }
+    Ok(())
+}

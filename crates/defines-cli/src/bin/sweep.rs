@@ -16,7 +16,7 @@
 
 use clap::{Arg, ArgAction, Command};
 use defines_cli::{
-    accelerator_by_name, parse_modes, parse_target, tile_grid, workload_by_name, ACCELERATORS,
+    accelerator_by_name, parse_modes, parse_target, resolve_workload, tile_grid, ACCELERATORS,
     WORKLOADS,
 };
 use defines_core::{DfCostModel, Explorer};
@@ -33,9 +33,12 @@ fn main() {
         .arg(
             Arg::new("workload")
                 .long("workload")
-                .value_name("NAME")
+                .value_name("NAME|FILE")
                 .default_value("fsrcnn")
-                .help(format!("Workload: {}", WORKLOADS.join(", "))),
+                .help(format!(
+                    "Workload: {}; or a path to a workload JSON file",
+                    WORKLOADS.join(", ")
+                )),
         )
         .arg(
             Arg::new("accelerator")
@@ -111,7 +114,7 @@ fn main() {
 }
 
 fn run(matches: &clap::ArgMatches) -> Result<(), String> {
-    let net = workload_by_name(matches.value_of("workload").unwrap())?;
+    let (net, workload_source) = resolve_workload(matches.value_of("workload").unwrap())?;
     let acc = accelerator_by_name(matches.value_of("accelerator").unwrap())?;
     let modes = parse_modes(matches.value_of("dfmode").unwrap())?;
     let grid = tile_grid(&net, matches.value_of("tilex"), matches.value_of("tiley"))?;
@@ -250,6 +253,10 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
     if let Some(path) = matches.value_of("json") {
         let doc = Value::Object(vec![
             ("workload".into(), Value::Str(net.name().to_string())),
+            (
+                "workload_source".into(),
+                Value::Str(workload_source.as_str().to_string()),
+            ),
             ("accelerator".into(), Value::Str(acc.name().to_string())),
             ("target".into(), Value::Str(target.to_string())),
             (

@@ -4,6 +4,15 @@
 //!
 //! The flag names mirror the upstream DeFiNES artifact's interface
 //! (`--workload`, `--accelerator`, `--dfmode`, `--tilex`, `--tiley`).
+//! `--workload` accepts either a built-in zoo name ([`WORKLOADS`]) or a path
+//! to a workload JSON file (see `defines_workload::loader`); anything ending
+//! in `.json` or containing a path separator is treated as a file, so
+//! arbitrary networks can be swept without touching Rust code:
+//!
+//! ```text
+//! cargo run --release --bin sweep -- --workload workloads/fsrcnn.json
+//! cargo run --release --bin sweep -- --workload my-custom-net.json
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -37,6 +46,25 @@ pub const ACCELERATORS: [&str; 11] = [
     "depfin",
 ];
 
+/// Where a resolved workload came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadSource {
+    /// One of the built-in zoo models ([`WORKLOADS`]).
+    Builtin,
+    /// A workload JSON file.
+    File,
+}
+
+impl WorkloadSource {
+    /// The source as a short machine-readable string (`"builtin"`/`"file"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WorkloadSource::Builtin => "builtin",
+            WorkloadSource::File => "file",
+        }
+    }
+}
+
 /// Looks a workload up by its `--workload` name.
 ///
 /// # Errors
@@ -51,9 +79,32 @@ pub fn workload_by_name(name: &str) -> Result<Network, String> {
         "resnet18" => Ok(models::resnet18()),
         "reference" => Ok(models::reference_net()),
         other => Err(format!(
-            "unknown workload '{other}' (expected one of: {})",
+            "unknown workload '{other}' (expected one of: {}; or a path to a \
+             workload JSON file)",
             WORKLOADS.join(", ")
         )),
+    }
+}
+
+/// Resolves the `--workload` flag: a built-in zoo name, or a path to a
+/// workload JSON file. A spec is treated as a file when it ends in `.json`,
+/// contains a path separator, or names an existing file — so
+/// `--workload workloads/fsrcnn.json` and `--workload resnet18` both work.
+///
+/// # Errors
+///
+/// Returns the loader's error (naming the offending layer where applicable)
+/// for files, or the unknown-name message for zoo lookups.
+pub fn resolve_workload(spec: &str) -> Result<(Network, WorkloadSource), String> {
+    let looks_like_path = spec.ends_with(".json")
+        || spec.contains('/')
+        || spec.contains(std::path::MAIN_SEPARATOR)
+        || std::path::Path::new(spec).is_file();
+    if looks_like_path {
+        let net = defines_workload::loader::from_json_file(spec).map_err(|e| e.to_string())?;
+        Ok((net, WorkloadSource::File))
+    } else {
+        workload_by_name(spec).map(|net| (net, WorkloadSource::Builtin))
     }
 }
 
@@ -223,6 +274,30 @@ mod tests {
         assert!(tile_grid(&net, Some("60"), None).is_err());
         assert!(tile_grid(&net, Some("0"), Some("1")).is_err());
         assert!(tile_grid(&net, Some("x"), Some("1")).is_err());
+    }
+
+    #[test]
+    fn resolve_workload_distinguishes_names_and_paths() {
+        let (net, source) = resolve_workload("fsrcnn").unwrap();
+        assert_eq!(net.name(), "FSRCNN");
+        assert_eq!(source, WorkloadSource::Builtin);
+
+        // A JSON file with the exported FSRCNN loads to the same network.
+        let json = defines_workload::schema::to_json_pretty(&net).unwrap();
+        let dir = std::env::temp_dir().join("defines-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fsrcnn.json");
+        std::fs::write(&path, json).unwrap();
+        let (loaded, source) = resolve_workload(path.to_str().unwrap()).unwrap();
+        assert_eq!(source, WorkloadSource::File);
+        assert_eq!(loaded, net);
+
+        // Missing files and bad zoo names both produce useful messages.
+        let err = resolve_workload("missing-dir/nope.json").unwrap_err();
+        assert!(err.contains("cannot read workload file"), "{err}");
+        let err = resolve_workload("nope").unwrap_err();
+        assert!(err.contains("unknown workload"), "{err}");
+        assert_eq!(WorkloadSource::File.as_str(), "file");
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! * **compute** — the point's exact MAC count, from the step-1 tile-type
 //!   analysis alone (back-calculation, no placement / data-copy / mapping
 //!   work). Recompute-heavy points (tiny tiles under
-//!   [`OverlapMode::FullyRecompute`]) multiply their MACs and are the main
+//!   [`OverlapMode::FullyRecompute`](crate::strategy::OverlapMode::FullyRecompute))
+//!   multiply their MACs and are the main
 //!   pruning victims;
 //! * **DRAM floor** — any schedule must read the network's external input
 //!   from DRAM and write the final output back: those bytes bound DRAM

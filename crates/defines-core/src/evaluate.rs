@@ -25,6 +25,14 @@ pub enum EvaluationError {
     /// A manual stack partition referenced layers outside the network or was
     /// empty.
     InvalidStacks(String),
+    /// The workload DAG itself is invalid (dangling edges, self loops).
+    ///
+    /// [`Network::add_layer`](defines_workload::Network::add_layer) enforces
+    /// these invariants for programmatically built networks; the variant
+    /// exists so externally produced networks (e.g. from the JSON workload
+    /// frontend) surface a structured error instead of a panic if the
+    /// invariants are ever violated.
+    Network(defines_workload::NetworkError),
 }
 
 impl fmt::Display for EvaluationError {
@@ -32,11 +40,21 @@ impl fmt::Display for EvaluationError {
         match self {
             EvaluationError::EmptyNetwork => write!(f, "the workload contains no layers"),
             EvaluationError::InvalidStacks(msg) => write!(f, "invalid stack partition: {msg}"),
+            EvaluationError::Network(err) => write!(f, "invalid workload: {err}"),
         }
     }
 }
 
 impl std::error::Error for EvaluationError {}
+
+impl From<defines_workload::NetworkError> for EvaluationError {
+    fn from(err: defines_workload::NetworkError) -> Self {
+        match err {
+            defines_workload::NetworkError::Empty => EvaluationError::EmptyNetwork,
+            other => EvaluationError::Network(other),
+        }
+    }
+}
 
 /// The DeFiNES unified analytical cost model for one accelerator.
 ///
@@ -132,7 +150,8 @@ impl<'a> DfCostModel<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`EvaluationError::EmptyNetwork`] for an empty workload and
+    /// Returns [`EvaluationError::EmptyNetwork`] for an empty workload,
+    /// [`EvaluationError::Network`] for an invalid DAG and
     /// [`EvaluationError::InvalidStacks`] when a manual fuse-depth partition
     /// is inconsistent with the network.
     pub fn evaluate_network(
@@ -140,9 +159,7 @@ impl<'a> DfCostModel<'a> {
         net: &Network,
         strategy: &DfStrategy,
     ) -> Result<NetworkCost, EvaluationError> {
-        if net.is_empty() {
-            return Err(EvaluationError::EmptyNetwork);
-        }
+        net.validate()?;
         let stacks = partition_into_stacks(net, self.acc, &strategy.fuse);
         validate_stacks(net, &stacks)?;
         let mut stack_costs = Vec::with_capacity(stacks.len());

@@ -168,9 +168,7 @@ impl<'a> Explorer<'a> {
     /// [`EvaluationError`]s a per-point evaluation would — and guarantees
     /// the engine's evaluate closures cannot fail mid-sweep.
     fn validate_sweep(&self, net: &Network) -> Result<(), EvaluationError> {
-        if net.is_empty() {
-            return Err(EvaluationError::EmptyNetwork);
-        }
+        net.validate()?;
         let stacks = partition_into_stacks(net, self.model.accelerator(), &FuseDepth::Auto);
         crate::evaluate::validate_stacks(net, &stacks)
     }
@@ -231,7 +229,8 @@ impl<'a> Explorer<'a> {
     ) -> Result<Vec<ExplorationResult>, EvaluationError> {
         self.validate_sweep(net)?;
         let points = Self::design_points(tile_sizes, modes);
-        let engine = SweepEngine::new(self.engine.config().with_pruning(false));
+        let engine =
+            SweepEngine::new(self.engine.config().with_pruning(false)).with_label(net.name());
         let (records, _) = engine.run_collect(
             &points,
             &self.network_evaluator(net),
@@ -291,7 +290,8 @@ impl<'a> Explorer<'a> {
         let acc = self.model.accelerator();
         let points = Self::design_points(tile_sizes, modes);
         let bounds = StrategyBounds::new(net, acc, target);
-        let stats = self.engine.run(
+        let engine = self.engine.clone().with_label(net.name());
+        let stats = engine.run(
             &points,
             &self.network_evaluator(net),
             &|_, c: &NetworkCost| target.value(c, acc),
@@ -323,7 +323,8 @@ impl<'a> Explorer<'a> {
         let acc = self.model.accelerator();
         let points = Self::design_points(tile_sizes, modes);
         let bounds = StrategyBounds::new(net, acc, target);
-        let (records, _) = self.engine.run_collect(
+        let engine = self.engine.clone().with_label(net.name());
+        let (records, _) = engine.run_collect(
             &points,
             &self.network_evaluator(net),
             &|_, c: &NetworkCost| target.value(c, acc),
@@ -376,7 +377,8 @@ impl<'a> Explorer<'a> {
             }
         }
 
-        let engine = SweepEngine::new(self.engine.config().with_pruning(false));
+        let engine =
+            SweepEngine::new(self.engine.config().with_pruning(false)).with_label(net.name());
         let (records, _) = engine.run_collect(
             &points,
             &|&(stack_idx, tile, mode): &(usize, TileSize, OverlapMode)| {

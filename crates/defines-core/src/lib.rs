@@ -23,6 +23,9 @@
 //! Single-layer and layer-by-layer scheduling are the two extreme points of
 //! the space ([`DfStrategy::single_layer`], [`DfStrategy::layer_by_layer`]).
 //!
+//! `docs/paper-map.md` at the repository root maps every section, equation
+//! and figure of the paper to the module and function implementing it.
+//!
 //! # Example
 //!
 //! ```

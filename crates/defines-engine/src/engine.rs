@@ -135,8 +135,12 @@ impl<P: Serialize, C: Serialize> Serialize for SweepRecord<P, C> {
 }
 
 /// Summary of one sweep run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepStats {
+    /// Label of the run (e.g. the workload name), empty when unlabelled. Set
+    /// via [`SweepEngine::with_label`]; lets streamed reports and JSON dumps
+    /// identify which sweep produced them when several run side by side.
+    pub label: String,
     /// Total design points submitted.
     pub points: usize,
     /// Points fully evaluated.
@@ -152,6 +156,7 @@ pub struct SweepStats {
 impl Serialize for SweepStats {
     fn to_value(&self) -> Value {
         Value::Object(vec![
+            ("label".to_string(), Value::Str(self.label.clone())),
             ("points".to_string(), Value::U64(self.points as u64)),
             ("evaluated".to_string(), Value::U64(self.evaluated as u64)),
             ("pruned".to_string(), Value::U64(self.pruned as u64)),
@@ -174,20 +179,37 @@ impl Serialize for SweepStats {
 /// best are skipped. Strictness matters: a skipped point can therefore never
 /// tie the best evaluated point, so the arg-min over evaluated points (with
 /// index tie-breaking) is identical with and without pruning.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SweepEngine {
     config: EngineConfig,
+    label: Option<String>,
 }
 
 impl SweepEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            label: None,
+        }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Returns a copy whose runs are labelled (the label is carried on every
+    /// [`SweepStats`] the engine produces — typically the workload name, so
+    /// reports from concurrent sweeps stay attributable).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The label applied to this engine's runs, if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
     }
 
     /// Runs a sweep, streaming records to `on_record`.
@@ -221,6 +243,7 @@ impl SweepEngine {
             self.run_parallel(points, threads, evaluate, objective, bound, on_record)
         };
         SweepStats {
+            label: self.label.clone().unwrap_or_default(),
             points: points.len(),
             evaluated,
             pruned,

@@ -1,7 +1,7 @@
 //! Single-layer temporal-mapping search and cost model for DeFiNES.
 //!
-//! This crate plays the role of LOMA [29] (the temporal mapping search
-//! engine) and ZigZag [21], [22] (the single-layer cost model) in the DeFiNES
+//! This crate plays the role of LOMA \[29\] (the temporal mapping search
+//! engine) and ZigZag \[21\], \[22\] (the single-layer cost model) in the DeFiNES
 //! stack: given a layer (or a layer *tile*, when driven by the depth-first
 //! model in `defines-core`), an accelerator, and the *top memory level* each
 //! operand is allowed to use, it finds a good temporal mapping and reports

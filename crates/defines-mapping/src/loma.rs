@@ -1,6 +1,6 @@
 //! LOMA-lite: the temporal-mapping search engine.
 //!
-//! The original LOMA [29] permutes prime factors of the layer dimensions and
+//! The original LOMA \[29\] permutes prime factors of the layer dimensions and
 //! allocates them to memory levels bottom-up. This implementation permutes
 //! whole dimensions (at most 6! = 720 orderings per problem) and reuses the
 //! same greedy bottom-up memory allocation; the `loma_lpf_limit`-style

@@ -9,6 +9,10 @@
 //! * a model zoo ([`models`]) containing the five workloads used in the
 //!   DeFiNES paper (FSRCNN, DMCNN-VD, MC-CNN, MobileNetV1, ResNet18) plus the
 //!   11-layer reference network used for validation,
+//! * a declarative JSON frontend — [`schema`] defines the document types and
+//!   exports networks as JSON, [`loader`] parses documents back into
+//!   validated networks with shape inference (see the reference files under
+//!   `workloads/` at the repository root),
 //! * [`analysis`] — utilities that reproduce the workload statistics of
 //!   Table I(b) of the paper (average / maximum feature-map size and total
 //!   weight size).
@@ -32,9 +36,13 @@
 pub mod analysis;
 pub mod dims;
 pub mod layer;
+pub mod loader;
 pub mod models;
 pub mod network;
+pub mod schema;
 
 pub use dims::{Dim, LayerDims};
 pub use layer::{Layer, LayerId, OpType};
+pub use loader::{from_json_file, from_json_str, WorkloadError};
 pub use network::{Network, NetworkError};
+pub use schema::{LayerSpec, WorkloadDoc};

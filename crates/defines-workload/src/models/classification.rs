@@ -4,7 +4,7 @@ use crate::dims::LayerDims;
 use crate::layer::{Layer, LayerId, OpType};
 use crate::network::Network;
 
-/// MobileNetV1 [10] at 224×224×3 input, width multiplier 1.0.
+/// MobileNetV1 \[10\] at 224×224×3 input, width multiplier 1.0.
 ///
 /// 13 depthwise-separable blocks (depthwise 3×3 + pointwise 1×1) preceded by a
 /// strided 3×3 convolution and followed by global average pooling and a
@@ -83,7 +83,7 @@ pub fn mobilenet_v1() -> Network {
     net
 }
 
-/// ResNet18 [8] at 224×224×3 input.
+/// ResNet18 \[8\] at 224×224×3 input.
 ///
 /// Standard topology: a strided 7×7 stem, a 3×3 max-pool, four stages of two
 /// basic residual blocks each (64/128/256/512 channels), global average

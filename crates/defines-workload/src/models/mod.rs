@@ -5,11 +5,11 @@
 //!
 //! | Constructor | Workload | Character |
 //! |---|---|---|
-//! | [`fsrcnn`] | FSRCNN super-resolution [5] | activation dominant |
-//! | [`dmcnn_vd`] | DMCNN-VD demosaicing [30] | activation dominant |
-//! | [`mccnn`] | MC-CNN fast stereo matching [33] | activation dominant |
-//! | [`mobilenet_v1`] | MobileNetV1 classification [10] | weight dominant |
-//! | [`resnet18`] | ResNet18 classification [8] | weight dominant |
+//! | [`fsrcnn`] | FSRCNN super-resolution \[5\] | activation dominant |
+//! | [`dmcnn_vd`] | DMCNN-VD demosaicing \[30\] | activation dominant |
+//! | [`mccnn`] | MC-CNN fast stereo matching \[33\] | activation dominant |
+//! | [`mobilenet_v1`] | MobileNetV1 classification \[10\] | weight dominant |
+//! | [`resnet18`] | ResNet18 classification \[8\] | weight dominant |
 //! | [`reference_net`] | 11-layer custom reference network (Section IV) | activation dominant |
 //!
 //! The layer shapes are reconstructed from the papers the workloads originate

@@ -29,7 +29,7 @@ fn chain_conv(
         .expect("chain construction cannot fail")
 }
 
-/// FSRCNN super-resolution network [5] producing a 960×540 output.
+/// FSRCNN super-resolution network \[5\] producing a 960×540 output.
 ///
 /// Eight convolution layers: 5×5 feature extraction (d = 56), 1×1 shrinking
 /// (s = 12), four 3×3 mapping layers, 1×1 expanding and a 9×9 reconstruction
@@ -53,7 +53,7 @@ pub fn fsrcnn() -> Network {
     net
 }
 
-/// DMCNN-VD demosaicing network [30]: a deep stack of 3×3 convolutions with 64
+/// DMCNN-VD demosaicing network \[30\]: a deep stack of 3×3 convolutions with 64
 /// channels running at full image resolution (768×576 here).
 ///
 /// Table I(b) regime: ~650 KB of weights, ~26 MB peak feature map.
@@ -77,7 +77,7 @@ pub fn dmcnn_vd() -> Network {
     net
 }
 
-/// MC-CNN fast stereo-matching network [33]: 3×3 convolutions with 32 channels
+/// MC-CNN fast stereo-matching network \[33\]: 3×3 convolutions with 32 channels
 /// at 1280×720, followed by a 1×1 similarity layer.
 ///
 /// Table I(b) regime: ~100 KB of weights, ~29 MB peak feature map.

@@ -185,15 +185,37 @@ impl Network {
         out_degree.values().all(|&d| d <= 1)
     }
 
-    /// Validates the network as a whole.
+    /// Validates the network as a whole: non-empty, no self loops, and every
+    /// edge points at an earlier layer (i.e. the stored order is a valid
+    /// topological order).
+    ///
+    /// [`Network::add_layer`] already enforces the edge invariants for
+    /// incrementally built networks; `validate` re-checks them so consumers
+    /// of externally produced networks (e.g. future deserialization paths)
+    /// get a structured error instead of undefined downstream behaviour.
     ///
     /// # Errors
     ///
-    /// Returns [`NetworkError::Empty`] for a network without layers. (Edge
-    /// validity is already enforced at [`Network::add_layer`] time.)
+    /// Returns [`NetworkError::Empty`] for a network without layers,
+    /// [`NetworkError::SelfLoop`] or [`NetworkError::UnknownPredecessor`]
+    /// for invalid edges.
     pub fn validate(&self) -> Result<(), NetworkError> {
         if self.layers.is_empty() {
             return Err(NetworkError::Empty);
+        }
+        for (i, preds) in self.predecessors.iter().enumerate() {
+            let id = LayerId(i);
+            for &p in preds {
+                if p == id {
+                    return Err(NetworkError::SelfLoop(id));
+                }
+                if p.0 >= i {
+                    return Err(NetworkError::UnknownPredecessor {
+                        layer: id,
+                        predecessor: p,
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -300,5 +322,33 @@ mod tests {
         let net = Network::new("empty");
         assert_eq!(net.validate().unwrap_err(), NetworkError::Empty);
         assert!(net.is_empty());
+    }
+
+    #[test]
+    fn validate_recheck_catches_corrupted_edges() {
+        // add_layer guards these invariants on the way in; validate() must
+        // independently catch violated ones (same-module test can corrupt
+        // the private edge lists directly).
+        let mut net = Network::new("bad");
+        net.add_layer(conv("a", 8, 3, 32), &[]).unwrap();
+        net.add_layer(conv("b", 8, 8, 30), &[LayerId(0)]).unwrap();
+        assert!(net.validate().is_ok());
+
+        let mut self_loop = net.clone();
+        self_loop.predecessors[1] = vec![LayerId(1)];
+        assert_eq!(
+            self_loop.validate().unwrap_err(),
+            NetworkError::SelfLoop(LayerId(1))
+        );
+
+        let mut forward_edge = net.clone();
+        forward_edge.predecessors[0] = vec![LayerId(1)];
+        assert_eq!(
+            forward_edge.validate().unwrap_err(),
+            NetworkError::UnknownPredecessor {
+                layer: LayerId(0),
+                predecessor: LayerId(1),
+            }
+        );
     }
 }

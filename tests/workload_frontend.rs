@@ -1,0 +1,201 @@
+//! Integration tests for the JSON workload frontend: the reference files
+//! under `workloads/` load back into the exact zoo networks, file-loaded
+//! networks cost bit-identically to their built-in twins, the mapping memo
+//! cache is shared across the two, and malformed documents fail with errors
+//! that name the offending layer.
+
+use defines_arch::zoo;
+use defines_core::{DfCostModel, Explorer, OptimizeTarget, OverlapMode};
+use defines_mapping::MappingCache;
+use defines_workload::{loader, models, schema, Network};
+use std::path::PathBuf;
+
+/// Absolute path of a reference file under the repository-root `workloads/`.
+fn workload_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../workloads")
+        .join(file)
+}
+
+fn reference_files() -> [(&'static str, Network); 6] {
+    [
+        ("fsrcnn.json", models::fsrcnn()),
+        ("dmcnn-vd.json", models::dmcnn_vd()),
+        ("mccnn.json", models::mccnn()),
+        ("mobilenet-v1.json", models::mobilenet_v1()),
+        ("resnet18.json", models::resnet18()),
+        ("reference.json", models::reference_net()),
+    ]
+}
+
+#[test]
+fn reference_files_match_zoo_models_exactly() {
+    for (file, expected) in reference_files() {
+        let loaded =
+            loader::from_json_file(workload_path(file)).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(loaded, expected, "{file} must load the zoo network");
+    }
+}
+
+#[test]
+fn reference_files_are_regenerable() {
+    // The checked-in files are exactly what `export-workloads` would write
+    // today: export each zoo model and compare against the file on disk.
+    for (file, net) in reference_files() {
+        let exported = schema::to_json_pretty(&net).unwrap() + "\n";
+        let on_disk = std::fs::read_to_string(workload_path(file)).unwrap();
+        assert_eq!(
+            on_disk, exported,
+            "{file} is stale: re-run `cargo run --release --bin export-workloads`"
+        );
+    }
+}
+
+#[test]
+fn file_loaded_fsrcnn_costs_bit_identical_to_builtin() {
+    let loaded = loader::from_json_file(workload_path("fsrcnn.json")).unwrap();
+    let builtin = models::fsrcnn();
+
+    let acc = zoo::meta_proto_like_df();
+    let tiles = [(4, 4), (60, 72), (960, 540)];
+
+    let model_a = DfCostModel::new(&acc).with_fast_mapper();
+    let model_b = DfCostModel::new(&acc).with_fast_mapper();
+    let sweep_a = Explorer::new(&model_a)
+        .sweep(&builtin, &tiles, &OverlapMode::ALL)
+        .unwrap();
+    let sweep_b = Explorer::new(&model_b)
+        .sweep(&loaded, &tiles, &OverlapMode::ALL)
+        .unwrap();
+    assert_eq!(sweep_a, sweep_b, "all design points must cost identically");
+
+    let best_a = Explorer::new(&model_a)
+        .best_single_strategy(&builtin, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)
+        .unwrap();
+    let best_b = Explorer::new(&model_b)
+        .best_single_strategy(&loaded, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)
+        .unwrap();
+    assert_eq!(best_a, best_b);
+}
+
+#[test]
+fn mapping_cache_is_shared_across_file_loaded_and_builtin_models() {
+    // The memo key fingerprints the op (operator, precisions, tile dims, top
+    // levels, accelerator) — not the layer or network name — so a file-loaded
+    // twin of a zoo model re-uses every mapping the zoo evaluation produced.
+    let loaded = loader::from_json_file(workload_path("fsrcnn.json")).unwrap();
+    let builtin = models::fsrcnn();
+    let acc = zoo::meta_proto_like_df();
+    let cache = MappingCache::new();
+
+    let model = DfCostModel::new(&acc)
+        .with_fast_mapper()
+        .with_shared_cache(cache.clone());
+    let strategy = defines_core::DfStrategy::depth_first(
+        defines_core::TileSize::new(60, 72),
+        OverlapMode::FullyCached,
+    );
+
+    let cost_builtin = model.evaluate_network(&builtin, &strategy).unwrap();
+    let misses_after_builtin = cache.stats().misses;
+
+    let cost_loaded = model.evaluate_network(&loaded, &strategy).unwrap();
+    let stats = cache.stats();
+
+    assert_eq!(cost_builtin, cost_loaded);
+    assert_eq!(
+        stats.misses, misses_after_builtin,
+        "file-loaded evaluation must be answered entirely from the shared cache"
+    );
+    assert!(stats.hits > 0);
+}
+
+#[test]
+fn engine_stats_are_labelled_with_the_workload_name() {
+    let loaded = loader::from_json_file(workload_path("fsrcnn.json")).unwrap();
+    let acc = zoo::meta_proto_like_df();
+    let model = DfCostModel::new(&acc).with_fast_mapper();
+    let stats = Explorer::new(&model)
+        .sweep_streaming(
+            &loaded,
+            &[(60, 72)],
+            &[OverlapMode::FullyCached],
+            OptimizeTarget::Energy,
+            |_| {},
+        )
+        .unwrap();
+    assert_eq!(stats.label, "FSRCNN");
+}
+
+#[test]
+fn malformed_documents_name_the_offending_layer() {
+    // Missing edge: consumer references a producer that is never declared.
+    let missing_edge = r#"{"name": "broken", "layers": [
+        {"name": "in", "op": "Conv", "k": 8, "c": 3, "ox": 32, "oy": 32},
+        {"name": "out", "op": "Conv", "inputs": ["hidden"], "k": 8}
+    ]}"#;
+    let err = loader::from_json_str(missing_edge).unwrap_err();
+    assert!(err.to_string().contains("layer 'out'"), "{err}");
+    assert!(
+        err.to_string().contains("unknown input layer 'hidden'"),
+        "{err}"
+    );
+
+    // Dim mismatch: declared input channels disagree with the producer.
+    let dim_mismatch = r#"{"name": "broken", "layers": [
+        {"name": "in", "op": "Conv", "k": 8, "c": 3, "ox": 32, "oy": 32},
+        {"name": "out", "op": "Conv", "inputs": ["in"], "k": 8, "c": 16, "ox": 32, "oy": 32}
+    ]}"#;
+    let err = loader::from_json_str(dim_mismatch).unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "layer 'out': input channels c=16 does not match producer 'in' output channels k=8"
+    );
+
+    // Unknown op.
+    let unknown_op = r#"{"name": "broken", "layers": [
+        {"name": "norm", "op": "BatchNorm", "k": 8, "c": 8, "ox": 32, "oy": 32}
+    ]}"#;
+    let err = loader::from_json_str(unknown_op).unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "layer 'norm': unknown op 'BatchNorm' (expected Conv, DepthwiseConv, Pooling, Add)"
+    );
+}
+
+#[test]
+fn hand_written_network_sweeps_end_to_end() {
+    // A compact bring-your-own-network document: shape inference fills the
+    // channel/spatial dimensions, and the loaded network runs through the
+    // full exploration stack.
+    let json = r#"{
+      "name": "tiny-edge-net",
+      "layers": [
+        {"name": "stem", "op": "Conv", "k": 8, "c": 3, "ox": 48, "oy": 48,
+         "fx": 3, "fy": 3, "padding": [1, 1]},
+        {"name": "dw", "op": "DepthwiseConv", "inputs": ["stem"],
+         "fx": 3, "fy": 3, "padding": [1, 1]},
+        {"name": "pw", "op": "Conv", "inputs": ["dw"], "k": 16},
+        {"name": "head", "op": "Conv", "inputs": ["pw"], "k": 4, "fx": 3, "fy": 3}
+      ]
+    }"#;
+    let net = loader::from_json_str(json).unwrap();
+    assert_eq!(net.len(), 4);
+
+    let acc = zoo::meta_proto_like_df();
+    let model = DfCostModel::new(&acc).with_fast_mapper();
+    let best = Explorer::new(&model)
+        .best_single_strategy(
+            &net,
+            &[(8, 8), (48, 48)],
+            &OverlapMode::ALL,
+            OptimizeTarget::Energy,
+        )
+        .unwrap();
+    assert!(best.cost.energy_pj > 0.0);
+    assert!(best.cost.latency_cycles > 0.0);
+
+    // And it round-trips through the exporter like any zoo model.
+    let reloaded = loader::from_json_str(&schema::to_json_pretty(&net).unwrap()).unwrap();
+    assert_eq!(reloaded, net);
+}
