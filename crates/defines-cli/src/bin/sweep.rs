@@ -16,11 +16,12 @@
 
 use clap::{Arg, ArgAction, Command};
 use defines_cli::{
-    accelerator_by_name, parse_modes, parse_target, resolve_workload, tile_grid, ACCELERATORS,
-    WORKLOADS,
+    accelerator_by_name, parse_fuse_policy, parse_modes, parse_target, resolve_workload, tile_grid,
+    ACCELERATORS, WORKLOADS,
 };
-use defines_core::{DfCostModel, Explorer};
+use defines_core::{DfCostModel, Explorer, FusePolicy, ScheduleResult};
 use defines_engine::{EngineConfig, Outcome};
+use defines_workload::Network;
 use serde::Value;
 
 fn main() {
@@ -74,6 +75,16 @@ fn main() {
                 .help("Optimization target: energy, latency, edp, dram, activation"),
         )
         .arg(
+            Arg::new("fuse")
+                .long("fuse")
+                .value_name("POLICY")
+                .default_value("auto")
+                .help(
+                    "Fuse depth (axis 3): auto (weight-budget heuristic), full (one stack), \
+                     single (one layer per stack), search (DP over stack partitions)",
+                ),
+        )
+        .arg(
             Arg::new("threads")
                 .long("threads")
                 .value_name("N")
@@ -113,12 +124,76 @@ fn main() {
     }
 }
 
+/// Renders the chosen partition and per-stack strategy choices as a JSON
+/// object for the report's `schedule` section.
+fn schedule_to_json(net: &Network, schedule: &ScheduleResult) -> Value {
+    let stacks: Vec<Value> = schedule
+        .choices
+        .iter()
+        .map(|choice| {
+            let layers: Vec<Value> = choice
+                .stack
+                .layers
+                .iter()
+                .map(|&l| Value::Str(net.layer(l).name.clone()))
+                .collect();
+            Value::Object(vec![
+                ("layers".into(), Value::Array(layers)),
+                ("tile".into(), Value::Str(choice.tile.to_string())),
+                ("mode".into(), Value::Str(choice.mode.to_string())),
+                ("value".into(), Value::F64(choice.value)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        (
+            "policy".into(),
+            Value::Str(schedule.policy.keyword().to_string()),
+        ),
+        ("candidates".into(), Value::U64(schedule.candidates as u64)),
+        ("partition".into(), Value::Array(stacks)),
+        ("energy_pj".into(), Value::F64(schedule.cost.energy_pj)),
+        (
+            "latency_cycles".into(),
+            Value::F64(schedule.cost.latency_cycles),
+        ),
+        ("stats".into(), serde::Serialize::to_value(&schedule.stats)),
+    ])
+}
+
+/// Prints the chosen partition and per-stack choices, one line per stack.
+fn print_schedule(net: &Network, schedule: &ScheduleResult, target: defines_core::OptimizeTarget) {
+    println!(
+        "fuse schedule   : {} | {} stacks from {} candidates",
+        schedule.policy,
+        schedule.choices.len(),
+        schedule.candidates
+    );
+    for (i, choice) in schedule.choices.iter().enumerate() {
+        let first = net.layer(choice.stack.first_layer()).name.as_str();
+        let last = net.layer(choice.stack.last_layer()).name.as_str();
+        let span = if choice.stack.len() == 1 {
+            first.to_string()
+        } else {
+            format!("{first}..{last} ({} layers)", choice.stack.len())
+        };
+        println!(
+            "  stack {:>2}: {span}  | tile {} | {} | {target} {:.4e}",
+            i + 1,
+            choice.tile,
+            choice.mode,
+            choice.value
+        );
+    }
+}
+
 fn run(matches: &clap::ArgMatches) -> Result<(), String> {
     let (net, workload_source) = resolve_workload(matches.value_of("workload").unwrap())?;
     let acc = accelerator_by_name(matches.value_of("accelerator").unwrap())?;
     let modes = parse_modes(matches.value_of("dfmode").unwrap())?;
     let grid = tile_grid(&net, matches.value_of("tilex"), matches.value_of("tiley"))?;
     let target = parse_target(matches.value_of("target").unwrap())?;
+    let policy = parse_fuse_policy(matches.value_of("fuse").unwrap())?;
     let threads: usize = matches
         .value_of("threads")
         .unwrap()
@@ -135,112 +210,168 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
     if threads > 0 {
         config = config.with_threads(threads);
     }
-    let explorer = Explorer::new(&model).with_engine_config(config);
+    let mut explorer = Explorer::new(&model).with_engine_config(config);
+    if let Some(fuse) = policy.fixed_fuse_depth() {
+        explorer = explorer.with_fuse_depth(fuse);
+    }
 
+    // The per-point (tile x mode) sweep fixes the fuse partition per point,
+    // so it only makes sense for the fixed-partition policies; `--fuse
+    // search` replaces it with the partition search below.
+    let run_sweep = !matches!(policy, FusePolicy::Search { .. });
     let total = grid.len() * modes.len();
-    println!(
-        "sweeping {total} design points ({} tiles x {} modes) of {} on {} | target: {target} | \
-         {} engine threads, pruning {}",
-        grid.len(),
-        modes.len(),
-        net.name(),
-        acc.name(),
-        explorer.engine_config().threads,
-        if explorer.engine_config().prune {
-            "on"
-        } else {
-            "off"
-        },
-    );
-
-    let width = total.to_string().len();
-    let mut done = 0usize;
     let mut record_rows: Vec<Value> = Vec::new();
     // The best evaluated record, tracked in-stream: minimal value, ties
     // broken by submission index — the same arg-min `best_single_strategy`
     // computes, without re-running the sweep (a pruned point can never beat
     // or tie an evaluated one).
     let mut best: Option<(f64, usize, defines_core::DfSweepRecord)> = None;
-    let stats = explorer
-        .sweep_streaming(&net, &grid, &modes, target, |record| {
-            done += 1;
-            let row = match &record.outcome {
-                Outcome::Evaluated { value, .. } => {
-                    let better = match &best {
-                        None => true,
-                        Some((bv, bi, _)) => *value < *bv || (*value == *bv && record.index < *bi),
-                    };
-                    if better {
-                        best = Some((*value, record.index, record.clone()));
-                    }
-                    if !quiet {
-                        println!(
-                            "[{done:>width$}/{total}] {}  {target} {value:.4e}{}",
-                            record.point,
-                            if record.is_best_so_far {
-                                "  <- best so far"
-                            } else {
-                                ""
-                            },
-                        );
-                    }
-                    Value::Object(vec![
-                        ("index".into(), Value::U64(record.index as u64)),
-                        ("strategy".into(), Value::Str(record.point.to_string())),
-                        ("value".into(), Value::F64(*value)),
-                        ("pruned".into(), Value::Bool(false)),
-                    ])
-                }
-                Outcome::Pruned { lower_bound } => {
-                    if !quiet {
-                        println!(
-                            "[{done:>width$}/{total}] {}  pruned (lower bound {lower_bound:.4e})",
-                            record.point,
-                        );
-                    }
-                    Value::Object(vec![
-                        ("index".into(), Value::U64(record.index as u64)),
-                        ("strategy".into(), Value::Str(record.point.to_string())),
-                        ("lower_bound".into(), Value::F64(*lower_bound)),
-                        ("pruned".into(), Value::Bool(true)),
-                    ])
-                }
-            };
-            record_rows.push(row);
-        })
-        .map_err(|e| e.to_string())?;
+    let mut sweep_stats = None;
+    if run_sweep {
+        println!(
+            "sweeping {total} design points ({} tiles x {} modes) of {} on {} | target: {target} \
+             | {} | {} engine threads, pruning {}",
+            grid.len(),
+            modes.len(),
+            net.name(),
+            acc.name(),
+            explorer.fuse_depth(),
+            explorer.engine_config().threads,
+            if explorer.engine_config().prune {
+                "on"
+            } else {
+                "off"
+            },
+        );
 
-    let (best_value, _, best) = best.ok_or("the sweep evaluated no design points")?;
-    let best_cost = best
-        .cost()
-        .expect("tracked best is always evaluated")
-        .clone();
-    let best_strategy = best.point;
+        let width = total.to_string().len();
+        let mut done = 0usize;
+        let stats = explorer
+            .sweep_streaming(&net, &grid, &modes, target, |record| {
+                done += 1;
+                let row = match &record.outcome {
+                    Outcome::Evaluated { value, .. } => {
+                        let better = match &best {
+                            None => true,
+                            Some((bv, bi, _)) => {
+                                *value < *bv || (*value == *bv && record.index < *bi)
+                            }
+                        };
+                        if better {
+                            best = Some((*value, record.index, record.clone()));
+                        }
+                        if !quiet {
+                            println!(
+                                "[{done:>width$}/{total}] {}  {target} {value:.4e}{}",
+                                record.point,
+                                if record.is_best_so_far {
+                                    "  <- best so far"
+                                } else {
+                                    ""
+                                },
+                            );
+                        }
+                        Value::Object(vec![
+                            ("index".into(), Value::U64(record.index as u64)),
+                            ("strategy".into(), Value::Str(record.point.to_string())),
+                            ("value".into(), Value::F64(*value)),
+                            ("pruned".into(), Value::Bool(false)),
+                        ])
+                    }
+                    Outcome::Pruned { lower_bound } => {
+                        if !quiet {
+                            println!(
+                                "[{done:>width$}/{total}] {}  pruned (lower bound \
+                                 {lower_bound:.4e})",
+                                record.point,
+                            );
+                        }
+                        Value::Object(vec![
+                            ("index".into(), Value::U64(record.index as u64)),
+                            ("strategy".into(), Value::Str(record.point.to_string())),
+                            ("lower_bound".into(), Value::F64(*lower_bound)),
+                            ("pruned".into(), Value::Bool(true)),
+                        ])
+                    }
+                };
+                record_rows.push(row);
+            })
+            .map_err(|e| e.to_string())?;
+        sweep_stats = Some(stats);
+    } else {
+        println!(
+            "searching stack partitions of {} on {} | target: {target} | {} | {} engine threads",
+            net.name(),
+            acc.name(),
+            policy,
+            explorer.engine_config().threads,
+        );
+    }
+
+    // The schedule search over the requested fuse policy: for the fixed
+    // policies this picks the best (tile, mode) per stack of the fixed
+    // partition; for `search` it additionally searches the partition itself.
+    let schedule = explorer
+        .best_schedule(&net, &grid, &modes, target, &policy)
+        .map_err(|e| e.to_string())?;
+    let schedule_value = schedule.value(target, &acc);
+
     let (sl, lbl) = explorer.baselines(&net).map_err(|e| e.to_string())?;
     let (sl_value, lbl_value) = (target.value(&sl, &acc), target.value(&lbl, &acc));
 
     println!();
-    println!("best strategy   : {best_strategy}");
+    let mut best_json = None;
+    if let Some((best_value, _, best)) = &best {
+        let best_cost = best
+            .cost()
+            .expect("tracked best is always evaluated")
+            .clone();
+        println!("best strategy   : {}", best.point);
+        println!(
+            "  {target}: {best_value:.4e}  (energy {:.3} mJ, latency {:.3} Mcycles)",
+            best_cost.energy_mj(),
+            best_cost.latency_mcycles()
+        );
+        best_json = Some(Value::Object(vec![
+            ("strategy".into(), Value::Str(best.point.to_string())),
+            ("value".into(), Value::F64(*best_value)),
+            ("energy_pj".into(), Value::F64(best_cost.energy_pj)),
+            (
+                "latency_cycles".into(),
+                Value::F64(best_cost.latency_cycles),
+            ),
+        ]));
+    }
+    print_schedule(&net, &schedule, target);
     println!(
-        "  {target}: {best_value:.4e}  (energy {:.3} mJ, latency {:.3} Mcycles)",
-        best_cost.energy_mj(),
-        best_cost.latency_mcycles()
+        "  {target}: {schedule_value:.4e}  (energy {:.3} mJ, latency {:.3} Mcycles)",
+        schedule.cost.energy_mj(),
+        schedule.cost.latency_mcycles()
     );
+    // Ratios are reported against the best result on screen: the searched
+    // schedule, or the best swept single strategy when that is stronger
+    // (possible under the fixed policies, whose combination search routes
+    // feature maps between stacks through DRAM).
+    let reference = best
+        .as_ref()
+        .map_or(schedule_value, |(v, _, _)| v.min(schedule_value));
     println!(
         "single-layer    : {target} {sl_value:.4e}  ({:.2}x of best)",
-        sl_value / best_value
+        sl_value / reference
     );
     println!(
         "layer-by-layer  : {target} {lbl_value:.4e}  ({:.2}x of best)",
-        lbl_value / best_value
+        lbl_value / reference
     );
+    let engine_stats = sweep_stats.as_ref().unwrap_or(&schedule.stats);
     let cache = model.mapping_cache().stats();
     println!(
-        "engine          : {} evaluated, {} pruned in {:.1} ms on {} threads",
-        stats.evaluated,
-        stats.pruned,
-        stats.elapsed.as_secs_f64() * 1e3,
-        stats.threads
+        "engine          : {} evaluated, {} pruned in {:.1} ms on {} threads ({:.0} points/s)",
+        engine_stats.evaluated,
+        engine_stats.pruned,
+        engine_stats.elapsed.as_secs_f64() * 1e3,
+        engine_stats.threads,
+        engine_stats.points_per_second(),
     );
     println!(
         "mapping cache   : {} sub-problems, {} hits / {} misses ({:.1}% hit rate)",
@@ -251,7 +382,7 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
     );
 
     if let Some(path) = matches.value_of("json") {
-        let doc = Value::Object(vec![
+        let mut fields = vec![
             ("workload".into(), Value::Str(net.name().to_string())),
             (
                 "workload_source".into(),
@@ -260,20 +391,18 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
             ("accelerator".into(), Value::Str(acc.name().to_string())),
             ("target".into(), Value::Str(target.to_string())),
             (
-                "best".into(),
-                Value::Object(vec![
-                    ("strategy".into(), Value::Str(best_strategy.to_string())),
-                    ("value".into(), Value::F64(best_value)),
-                    ("energy_pj".into(), Value::F64(best_cost.energy_pj)),
-                    (
-                        "latency_cycles".into(),
-                        Value::F64(best_cost.latency_cycles),
-                    ),
-                ]),
+                "fuse".into(),
+                Value::Str(schedule.policy.keyword().to_string()),
             ),
+        ];
+        if let Some(best) = best_json {
+            fields.push(("best".into(), best));
+        }
+        fields.extend([
+            ("schedule".into(), schedule_to_json(&net, &schedule)),
             ("single_layer_value".into(), Value::F64(sl_value)),
             ("layer_by_layer_value".into(), Value::F64(lbl_value)),
-            ("stats".into(), serde::Serialize::to_value(&stats)),
+            ("stats".into(), serde::Serialize::to_value(engine_stats)),
             (
                 "cache".into(),
                 Value::Object(vec![
@@ -285,6 +414,7 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
             ),
             ("records".into(), Value::Array(record_rows)),
         ]);
+        let doc = Value::Object(fields);
         std::fs::write(path, doc.to_json_pretty())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote JSON report to {path}");

@@ -18,7 +18,7 @@
 #![warn(rust_2018_idioms)]
 
 use defines_arch::{zoo, Accelerator};
-use defines_core::{Explorer, OptimizeTarget, OverlapMode};
+use defines_core::{Explorer, FusePolicy, OptimizeTarget, OverlapMode};
 use defines_workload::{models, Network};
 
 /// The workloads selectable by `--workload`.
@@ -219,6 +219,30 @@ pub fn tile_grid(
     }
 }
 
+/// Parses the `--fuse` keyword into a [`FusePolicy`] — axis 3 of the design
+/// space:
+///
+/// * `auto` — the automatic weight-budget fuse heuristic (the default),
+/// * `full` — the whole network as one stack,
+/// * `single` — every layer its own stack,
+/// * `search` — search the stack partition itself (segment-span candidates,
+///   shortest-path DP over cut points).
+///
+/// # Errors
+///
+/// Returns a message listing the valid keywords for an unknown input.
+pub fn parse_fuse_policy(name: &str) -> Result<FusePolicy, String> {
+    match name {
+        "auto" => Ok(FusePolicy::Auto),
+        "full" => Ok(FusePolicy::FullNetwork),
+        "single" => Ok(FusePolicy::SingleLayerStacks),
+        "search" => Ok(FusePolicy::search()),
+        other => Err(format!(
+            "unknown fuse policy '{other}' (expected one of: auto, full, single, search)"
+        )),
+    }
+}
+
 /// Parses the `--target` name.
 ///
 /// # Errors
@@ -305,5 +329,18 @@ mod tests {
         assert_eq!(parse_target("energy").unwrap(), OptimizeTarget::Energy);
         assert_eq!(parse_target("edp").unwrap(), OptimizeTarget::Edp);
         assert!(parse_target("speed").is_err());
+    }
+
+    #[test]
+    fn fuse_policies_parse() {
+        assert_eq!(parse_fuse_policy("auto").unwrap(), FusePolicy::Auto);
+        assert_eq!(parse_fuse_policy("full").unwrap(), FusePolicy::FullNetwork);
+        assert_eq!(
+            parse_fuse_policy("single").unwrap(),
+            FusePolicy::SingleLayerStacks
+        );
+        assert_eq!(parse_fuse_policy("search").unwrap(), FusePolicy::search());
+        let err = parse_fuse_policy("deep").unwrap_err();
+        assert!(err.contains("auto, full, single, search"), "{err}");
     }
 }

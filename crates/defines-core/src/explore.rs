@@ -12,8 +12,9 @@
 
 use crate::bounds::StrategyBounds;
 use crate::evaluate::{DfCostModel, EvaluationError};
+use crate::fuse::{enumerate_candidates, optimal_partition, stack_span, FusePolicy};
 use crate::result::{NetworkCost, StackCost};
-use crate::stack::{partition_into_stacks, FuseDepth};
+use crate::stack::{partition_into_stacks, FuseDepth, Stack};
 use crate::strategy::{DfStrategy, OverlapMode, TileSize};
 use defines_arch::Accelerator;
 use defines_engine::{EngineConfig, SweepEngine, SweepRecord, SweepStats};
@@ -105,23 +106,91 @@ pub struct CombinationResult {
     pub cost: NetworkCost,
 }
 
+/// One stack of a searched schedule, with the (tile size, overlap mode)
+/// chosen for it and its contribution to the optimization target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackChoice {
+    /// The stack (layer ids in topological order).
+    pub stack: Stack,
+    /// The tile size chosen for the stack.
+    pub tile: TileSize,
+    /// The overlap storing mode chosen for the stack.
+    pub mode: OverlapMode,
+    /// The stack's value under the optimization target.
+    pub value: f64,
+}
+
+/// The result of a full schedule search over all three axes
+/// ([`Explorer::best_schedule`]): a stack partition together with the best
+/// (tile size, overlap mode) per stack.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScheduleResult {
+    /// The fuse policy the schedule was searched under.
+    pub policy: FusePolicy,
+    /// The chosen partition with its per-stack strategy choices, in stack
+    /// (topological) order.
+    pub choices: Vec<StackChoice>,
+    /// The combined network cost of the schedule.
+    pub cost: NetworkCost,
+    /// Number of candidate stacks that entered the search (equals the number
+    /// of partition stacks for the fixed-partition policies).
+    pub candidates: usize,
+    /// Statistics of the flattened engine run that evaluated the candidates.
+    pub stats: SweepStats,
+}
+
+impl ScheduleResult {
+    /// The chosen stack partition, in topological order.
+    pub fn partition(&self) -> Vec<&Stack> {
+        self.choices.iter().map(|c| &c.stack).collect()
+    }
+
+    /// The chosen (tile size, overlap mode) per stack, in stack order.
+    pub fn per_stack(&self) -> Vec<(TileSize, OverlapMode)> {
+        self.choices.iter().map(|c| (c.tile, c.mode)).collect()
+    }
+
+    /// The schedule's value under an optimization target.
+    pub fn value(&self, target: OptimizeTarget, acc: &Accelerator) -> f64 {
+        target.value(&self.cost, acc)
+    }
+}
+
 /// Design-space explorer over depth-first strategies for one network and one
 /// accelerator, running on the parallel exploration engine.
 #[derive(Debug)]
 pub struct Explorer<'a> {
     model: &'a DfCostModel<'a>,
     engine: SweepEngine,
+    fuse: FuseDepth,
 }
 
 impl<'a> Explorer<'a> {
     /// Creates an explorer driving the given cost model, with one engine
-    /// worker per available core and lower-bound pruning enabled for the
-    /// best-strategy searches.
+    /// worker per available core, lower-bound pruning enabled for the
+    /// best-strategy searches, and the automatic fuse-depth heuristic.
     pub fn new(model: &'a DfCostModel<'a>) -> Self {
         Self {
             model,
             engine: SweepEngine::new(EngineConfig::parallel()),
+            fuse: FuseDepth::Auto,
         }
+    }
+
+    /// Returns a copy whose sweep entry points ([`Explorer::sweep`],
+    /// [`Explorer::sweep_streaming`], [`Explorer::best_single_strategy`],
+    /// [`Explorer::sweep_sequential`]) evaluate design points under the given
+    /// fuse depth instead of [`FuseDepth::Auto`] — axis 3 of the design
+    /// space. For *searching* that axis rather than fixing it, use
+    /// [`Explorer::best_schedule`] with [`FusePolicy::Search`].
+    pub fn with_fuse_depth(mut self, fuse: FuseDepth) -> Self {
+        self.fuse = fuse;
+        self
+    }
+
+    /// The fuse depth applied to this explorer's sweep design points.
+    pub fn fuse_depth(&self) -> &FuseDepth {
+        &self.fuse
     }
 
     /// Returns a copy using an explicit engine configuration.
@@ -152,24 +221,28 @@ impl<'a> Explorer<'a> {
     }
 
     /// The design points of a (tile sizes × overlap modes) sweep, in the
-    /// canonical submission order (modes outer, tiles inner).
-    fn design_points(tile_sizes: &[(u64, u64)], modes: &[OverlapMode]) -> Vec<DfStrategy> {
+    /// canonical submission order (modes outer, tiles inner), under the
+    /// explorer's fuse depth.
+    fn design_points(&self, tile_sizes: &[(u64, u64)], modes: &[OverlapMode]) -> Vec<DfStrategy> {
         let mut points = Vec::with_capacity(tile_sizes.len() * modes.len());
         for &mode in modes {
             for &(tx, ty) in tile_sizes {
-                points.push(DfStrategy::depth_first(TileSize::new(tx, ty), mode));
+                points.push(
+                    DfStrategy::depth_first(TileSize::new(tx, ty), mode)
+                        .with_fuse(self.fuse.clone()),
+                );
             }
         }
         points
     }
 
-    /// Validates the sweep upfront: every design point shares the automatic
+    /// Validates the sweep upfront: every design point shares the explorer's
     /// fuse partition, so checking it once surfaces the same
     /// [`EvaluationError`]s a per-point evaluation would — and guarantees
     /// the engine's evaluate closures cannot fail mid-sweep.
     fn validate_sweep(&self, net: &Network) -> Result<(), EvaluationError> {
         net.validate()?;
-        let stacks = partition_into_stacks(net, self.model.accelerator(), &FuseDepth::Auto);
+        let stacks = partition_into_stacks(net, self.model.accelerator(), &self.fuse);
         crate::evaluate::validate_stacks(net, &stacks)
     }
 
@@ -198,9 +271,26 @@ impl<'a> Explorer<'a> {
 
     /// The default tile-size grid used by case study 1 (Fig. 12): powers of
     /// roughly 4 along each axis, capped at the feature-map size.
+    ///
+    /// The grid is derived from the network's *sink* layer — the layer whose
+    /// output nothing consumes — not from whichever layer happens to be last
+    /// in insertion order: a JSON-loaded DAG may list an auxiliary head after
+    /// the main output. With several sinks, the one with the largest output
+    /// feature map wins (ties break to the earliest layer), since the grid
+    /// must offer meaningful tile sizes for the dominant output.
     pub fn default_tile_grid(net: &Network) -> Vec<(u64, u64)> {
-        let last = net.layers().last().expect("non-empty network");
-        let (w, h) = (last.dims.ox, last.dims.oy);
+        let sink = net
+            .sink_layers()
+            .into_iter()
+            .map(|id| {
+                let d = &net.layer(id).dims;
+                (d.ox * d.oy, id)
+            })
+            .reduce(|best, cur| if cur.0 > best.0 { cur } else { best })
+            .map(|(_, id)| id)
+            .expect("non-empty network");
+        let sink = net.layer(sink);
+        let (w, h) = (sink.dims.ox, sink.dims.oy);
         let xs = axis_points(w);
         let ys = axis_points(h);
         let mut grid = Vec::new();
@@ -228,7 +318,7 @@ impl<'a> Explorer<'a> {
         modes: &[OverlapMode],
     ) -> Result<Vec<ExplorationResult>, EvaluationError> {
         self.validate_sweep(net)?;
-        let points = Self::design_points(tile_sizes, modes);
+        let points = self.design_points(tile_sizes, modes);
         let engine =
             SweepEngine::new(self.engine.config().with_pruning(false)).with_label(net.name());
         let (records, _) = engine.run_collect(
@@ -262,7 +352,8 @@ impl<'a> Explorer<'a> {
         let mut out = Vec::with_capacity(tile_sizes.len() * modes.len());
         for &mode in modes {
             for &(tx, ty) in tile_sizes {
-                let strategy = DfStrategy::depth_first(TileSize::new(tx, ty), mode);
+                let strategy = DfStrategy::depth_first(TileSize::new(tx, ty), mode)
+                    .with_fuse(self.fuse.clone());
                 let cost = self.model.evaluate_network(net, &strategy)?;
                 out.push(ExplorationResult { strategy, cost });
             }
@@ -288,7 +379,7 @@ impl<'a> Explorer<'a> {
     ) -> Result<SweepStats, EvaluationError> {
         self.validate_sweep(net)?;
         let acc = self.model.accelerator();
-        let points = Self::design_points(tile_sizes, modes);
+        let points = self.design_points(tile_sizes, modes);
         let bounds = StrategyBounds::new(net, acc, target);
         let engine = self.engine.clone().with_label(net.name());
         let stats = engine.run(
@@ -321,7 +412,7 @@ impl<'a> Explorer<'a> {
     ) -> Result<ExplorationResult, EvaluationError> {
         self.validate_sweep(net)?;
         let acc = self.model.accelerator();
-        let points = Self::design_points(tile_sizes, modes);
+        let points = self.design_points(tile_sizes, modes);
         let bounds = StrategyBounds::new(net, acc, target);
         let engine = self.engine.clone().with_label(net.name());
         let (records, _) = engine.run_collect(
@@ -344,6 +435,9 @@ impl<'a> Explorer<'a> {
     /// full-feature-map tile, i.e. falling back to layer-by-layer processing
     /// for weight-dominant stacks (case study 2).
     ///
+    /// This is a thin wrapper over [`Explorer::best_schedule`] with
+    /// [`FusePolicy::Auto`].
+    ///
     /// # Errors
     ///
     /// Returns [`EvaluationError::EmptyNetwork`] for an empty workload.
@@ -354,32 +448,165 @@ impl<'a> Explorer<'a> {
         modes: &[OverlapMode],
         target: OptimizeTarget,
     ) -> Result<CombinationResult, EvaluationError> {
-        if net.is_empty() {
-            return Err(EvaluationError::EmptyNetwork);
-        }
+        let schedule = self.best_schedule(net, tile_sizes, modes, target, &FusePolicy::Auto)?;
+        Ok(CombinationResult {
+            per_stack: schedule.per_stack(),
+            cost: schedule.cost,
+        })
+    }
+
+    /// Searches the full three-axis design space for one schedule: the stack
+    /// partition (axis 3, governed by the [`FusePolicy`]), and per stack the
+    /// (tile size, overlap mode) pair (axes 1 and 2) minimizing the target.
+    ///
+    /// All `(candidate stack × tile size × overlap mode)` triples are
+    /// flattened into a single engine run sharing the work queue and the
+    /// model's mapping cache. For the fixed-partition policies the candidate
+    /// stacks *are* the partition; for [`FusePolicy::Search`] the candidates
+    /// are spans of branch-free segments (plus single layers and the
+    /// automatic partition's stacks, see
+    /// [`enumerate_candidates`]) and the
+    /// globally optimal partition is selected by shortest-path dynamic
+    /// programming over the layer cut boundaries
+    /// ([`optimal_partition`]) — exact for
+    /// the additive targets because
+    /// [`NetworkCost::from_stacks`](crate::NetworkCost::from_stacks) sums per
+    /// stack, and therefore never worse than the [`FusePolicy::Auto`]
+    /// combination on the same grid.
+    ///
+    /// Stacks exchange feature maps through DRAM, like
+    /// [`Explorer::best_combination`] (the partitions under comparison are
+    /// then costed identically).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaluationError::EmptyNetwork`] for an empty workload and
+    /// propagates DAG validation errors.
+    pub fn best_schedule(
+        &self,
+        net: &Network,
+        tile_sizes: &[(u64, u64)],
+        modes: &[OverlapMode],
+        target: OptimizeTarget,
+        policy: &FusePolicy,
+    ) -> Result<ScheduleResult, EvaluationError> {
+        net.validate()?;
         let acc = self.model.accelerator();
-        let stacks = partition_into_stacks(net, acc, &FuseDepth::Auto);
+        match policy.fixed_fuse_depth() {
+            Some(fuse) => {
+                let stacks = partition_into_stacks(net, acc, &fuse);
+                crate::evaluate::validate_stacks(net, &stacks)?;
+                let (best, stats) =
+                    self.best_choice_per_stack(net, &stacks, tile_sizes, modes, target);
+                let mut choices = Vec::with_capacity(stacks.len());
+                let mut stack_costs = Vec::with_capacity(stacks.len());
+                for (stack, (tile, mode, value, cost)) in stacks.into_iter().zip(best) {
+                    choices.push(StackChoice {
+                        stack,
+                        tile,
+                        mode,
+                        value,
+                    });
+                    stack_costs.push(cost);
+                }
+                Ok(ScheduleResult {
+                    policy: policy.clone(),
+                    candidates: choices.len(),
+                    choices,
+                    cost: NetworkCost::from_stacks(stack_costs),
+                    stats,
+                })
+            }
+            None => {
+                let (max_span, factor) = match policy {
+                    FusePolicy::Search {
+                        max_span,
+                        weight_budget_factor,
+                    } => (*max_span, *weight_budget_factor),
+                    _ => unreachable!("only Search has no fixed fuse depth"),
+                };
+                let candidates = enumerate_candidates(net, acc, max_span, factor);
+                let (best, stats) =
+                    self.best_choice_per_stack(net, &candidates, tile_sizes, modes, target);
+                let spans: Vec<(usize, usize)> = candidates.iter().map(stack_span).collect();
+                let values: Vec<f64> = best.iter().map(|b| b.2).collect();
+                let (chosen, _) = optimal_partition(net.len(), &spans, &values)
+                    .expect("single-layer candidates make every partition boundary reachable");
+                let mut choices = Vec::with_capacity(chosen.len());
+                let mut stack_costs = Vec::with_capacity(chosen.len());
+                for idx in chosen {
+                    let (tile, mode, value, cost) = best[idx].clone();
+                    choices.push(StackChoice {
+                        stack: candidates[idx].clone(),
+                        tile,
+                        mode,
+                        value,
+                    });
+                    stack_costs.push(cost);
+                }
+                Ok(ScheduleResult {
+                    policy: policy.clone(),
+                    candidates: candidates.len(),
+                    choices,
+                    cost: NetworkCost::from_stacks(stack_costs),
+                    stats,
+                })
+            }
+        }
+    }
+
+    /// The tile-size candidates submitted for one stack: the caller's grid
+    /// plus the full-feature-map tile, deduplicated by their effective
+    /// (clamped) extent on the stack's output — a grid already containing the
+    /// full tile would otherwise evaluate it twice and shift the documented
+    /// tie-break order away from "earliest candidate".
+    fn stack_tile_candidates(
+        net: &Network,
+        stack: &Stack,
+        tile_sizes: &[(u64, u64)],
+    ) -> Vec<TileSize> {
+        let sink = net.layer(stack.last_layer());
+        let (w, h) = (sink.dims.ox, sink.dims.oy);
+        let mut seen = std::collections::HashSet::with_capacity(tile_sizes.len() + 1);
+        tile_sizes
+            .iter()
+            .map(|&(tx, ty)| TileSize::new(tx, ty))
+            .chain(std::iter::once(TileSize::full()))
+            .filter(|tile| seen.insert(tile.clamped(w, h)))
+            .collect()
+    }
+
+    /// Evaluates every `(stack, tile, mode)` triple in one engine run and
+    /// returns, per stack, the choice minimizing the target (ties resolve to
+    /// the earliest candidate, matching a sequential scan) along with the run
+    /// statistics. The stacks need not form a partition — the fuse-depth
+    /// search passes overlapping candidates.
+    fn best_choice_per_stack(
+        &self,
+        net: &Network,
+        stacks: &[Stack],
+        tile_sizes: &[(u64, u64)],
+        modes: &[OverlapMode],
+        target: OptimizeTarget,
+    ) -> (Vec<(TileSize, OverlapMode, f64, StackCost)>, SweepStats) {
+        let acc = self.model.accelerator();
         let dram = acc.hierarchy().dram_id();
 
         // Flatten every (stack, tile, mode) candidate into one engine run so
         // all stacks' candidates share the work queue and the mapping cache.
-        let mut candidates: Vec<TileSize> = tile_sizes
-            .iter()
-            .map(|&(tx, ty)| TileSize::new(tx, ty))
-            .collect();
-        candidates.push(TileSize::full());
         let mut points: Vec<(usize, TileSize, OverlapMode)> = Vec::new();
-        for stack_idx in 0..stacks.len() {
-            for &tile in &candidates {
+        for (stack_idx, stack) in stacks.iter().enumerate() {
+            for tile in Self::stack_tile_candidates(net, stack, tile_sizes) {
                 for &mode in modes {
                     points.push((stack_idx, tile, mode));
                 }
             }
         }
 
-        let engine =
-            SweepEngine::new(self.engine.config().with_pruning(false)).with_label(net.name());
-        let (records, _) = engine.run_collect(
+        let engine = SweepEngine::new(self.engine.config().with_pruning(false))
+            .with_label(net.name())
+            .with_label_detail(format!("{} stack candidates", stacks.len()));
+        let (records, stats) = engine.run_collect(
             &points,
             &|&(stack_idx, tile, mode): &(usize, TileSize, OverlapMode)| {
                 self.model
@@ -406,18 +633,11 @@ impl<'a> Explorer<'a> {
                 *slot = Some((tile, mode, value, cost));
             }
         }
-
-        let mut per_stack = Vec::with_capacity(stacks.len());
-        let mut stack_costs = Vec::with_capacity(stacks.len());
-        for slot in best {
-            let (tile, mode, _, cost) = slot.expect("at least one candidate evaluated per stack");
-            per_stack.push((tile, mode));
-            stack_costs.push(cost);
-        }
-        Ok(CombinationResult {
-            per_stack,
-            cost: NetworkCost::from_stacks(stack_costs),
-        })
+        let best = best
+            .into_iter()
+            .map(|slot| slot.expect("at least one candidate evaluated per stack"))
+            .collect();
+        (best, stats)
     }
 
     /// Evaluates the canonical single-layer and layer-by-layer baselines.
@@ -618,5 +838,171 @@ mod tests {
         assert_eq!(grid.len(), 36);
         assert!(grid.contains(&(960, 540)));
         assert!(grid.contains(&(1, 1)));
+    }
+
+    /// The default grid must follow the network's real sink, not the
+    /// insertion order: here a tiny auxiliary head is added *after* the large
+    /// main output, so `layers().last()` points at the wrong feature map.
+    #[test]
+    fn default_tile_grid_follows_largest_sink_not_insertion_order() {
+        let mut net = Network::new("aux-head-last");
+        let trunk = net
+            .add_layer(
+                Layer::new("trunk", OpType::Conv, LayerDims::conv(8, 3, 128, 128, 3, 3)),
+                &[],
+            )
+            .unwrap();
+        let _main = net
+            .add_layer(
+                Layer::new("main", OpType::Conv, LayerDims::conv(8, 8, 128, 128, 3, 3)),
+                &[trunk],
+            )
+            .unwrap();
+        let _aux = net
+            .add_layer(
+                Layer::new("aux", OpType::Conv, LayerDims::conv(4, 8, 4, 4, 1, 1)),
+                &[trunk],
+            )
+            .unwrap();
+        let grid = Explorer::default_tile_grid(&net);
+        // Derived from the 128x128 main output, not the 4x4 aux head.
+        assert!(grid.contains(&(128, 128)), "grid: {grid:?}");
+        assert!(grid.iter().any(|&(tx, ty)| tx > 4 && ty > 4));
+    }
+
+    /// A grid that already contains the stack's full-feature-map tile must
+    /// not evaluate the appended `TileSize::full()` a second time.
+    #[test]
+    fn stack_tile_candidates_dedup_by_clamped_extent() {
+        let net = tiny_net();
+        let stack = Stack::new(net.layer_ids().collect());
+        // The sink is 46x46: (46, 46), (64, 64) and full() all clamp to the
+        // same extent, so only the first survives.
+        let tiles = [(8, 8), (46, 46), (64, 64)];
+        let candidates = Explorer::stack_tile_candidates(&net, &stack, &tiles);
+        assert_eq!(candidates, vec![TileSize::new(8, 8), TileSize::new(46, 46)]);
+        // Without a full-covering grid entry, full() is appended.
+        let candidates = Explorer::stack_tile_candidates(&net, &stack, &[(8, 8)]);
+        assert_eq!(candidates, vec![TileSize::new(8, 8), TileSize::full()]);
+    }
+
+    #[test]
+    fn best_combination_unaffected_by_duplicate_full_tile_in_grid() {
+        let acc = zoo::meta_proto_like_df();
+        let model = DfCostModel::new(&acc).with_fast_mapper();
+        let explorer = Explorer::new(&model);
+        let net = tiny_net();
+        let without = explorer
+            .best_combination(&net, &[(8, 8)], &OverlapMode::ALL, OptimizeTarget::Energy)
+            .unwrap();
+        let with_dup = explorer
+            .best_combination(
+                &net,
+                &[(8, 8), (46, 46)],
+                &OverlapMode::ALL,
+                OptimizeTarget::Energy,
+            )
+            .unwrap();
+        // (46, 46) covers the whole 46x46 output, i.e. it *is* the full tile:
+        // the two grids span the same design space and must agree on cost.
+        assert_eq!(without.cost.energy_pj, with_dup.cost.energy_pj);
+    }
+
+    #[test]
+    fn best_schedule_search_is_never_worse_than_auto_combination() {
+        let acc = zoo::meta_proto_like_df();
+        let model = DfCostModel::new(&acc).with_fast_mapper();
+        let explorer = Explorer::new(&model);
+        let net = tiny_net();
+        let tiles = [(8, 8), (16, 16)];
+        let auto = explorer
+            .best_combination(&net, &tiles, &OverlapMode::ALL, OptimizeTarget::Energy)
+            .unwrap();
+        let searched = explorer
+            .best_schedule(
+                &net,
+                &tiles,
+                &OverlapMode::ALL,
+                OptimizeTarget::Energy,
+                &FusePolicy::search(),
+            )
+            .unwrap();
+        assert!(searched.cost.energy_pj <= auto.cost.energy_pj * (1.0 + 1e-9));
+        // The chosen partition covers every layer exactly once, in order.
+        let covered: Vec<_> = searched
+            .partition()
+            .iter()
+            .flat_map(|s| s.layers.clone())
+            .collect();
+        let expected: Vec<_> = net.layer_ids().collect();
+        assert_eq!(covered, expected);
+        assert_eq!(searched.choices.len(), searched.per_stack().len());
+        assert!(searched.candidates >= searched.choices.len());
+        assert!(searched.stats.evaluated > 0);
+    }
+
+    #[test]
+    fn best_schedule_fixed_policies_use_their_partitions() {
+        let acc = zoo::meta_proto_like_df();
+        let model = DfCostModel::new(&acc).with_fast_mapper();
+        let explorer = Explorer::new(&model);
+        let net = tiny_net();
+        let tiles = [(8, 8)];
+        let single = explorer
+            .best_schedule(
+                &net,
+                &tiles,
+                &OverlapMode::ALL,
+                OptimizeTarget::Energy,
+                &FusePolicy::SingleLayerStacks,
+            )
+            .unwrap();
+        assert_eq!(single.choices.len(), net.len());
+        assert!(single.partition().iter().all(|s| s.len() == 1));
+        let full = explorer
+            .best_schedule(
+                &net,
+                &tiles,
+                &OverlapMode::ALL,
+                OptimizeTarget::Energy,
+                &FusePolicy::FullNetwork,
+            )
+            .unwrap();
+        assert_eq!(full.choices.len(), 1);
+        assert_eq!(full.partition()[0].len(), net.len());
+        // The searched schedule can only match or beat both fixed policies.
+        let searched = explorer
+            .best_schedule(
+                &net,
+                &tiles,
+                &OverlapMode::ALL,
+                OptimizeTarget::Energy,
+                &FusePolicy::search(),
+            )
+            .unwrap();
+        assert!(searched.cost.energy_pj <= single.cost.energy_pj * (1.0 + 1e-9));
+        assert!(searched.cost.energy_pj <= full.cost.energy_pj * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn sweep_respects_explorer_fuse_depth() {
+        let acc = zoo::meta_proto_like_df();
+        let model = DfCostModel::new(&acc).with_fast_mapper();
+        let net = tiny_net();
+        let tiles = [(16, 16)];
+        let explorer = Explorer::new(&model).with_fuse_depth(FuseDepth::SingleLayerStacks);
+        assert_eq!(explorer.fuse_depth(), &FuseDepth::SingleLayerStacks);
+        let results = explorer
+            .sweep(&net, &tiles, &[OverlapMode::FullyCached])
+            .unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].strategy.fuse, FuseDepth::SingleLayerStacks);
+        // Every layer became its own stack in the evaluated cost.
+        assert_eq!(results[0].cost.stacks.len(), net.len());
+        // And the sequential reference path agrees bit for bit.
+        let sequential = explorer
+            .sweep_sequential(&net, &tiles, &[OverlapMode::FullyCached])
+            .unwrap();
+        assert_eq!(results, sequential);
     }
 }

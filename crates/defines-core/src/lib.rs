@@ -54,6 +54,7 @@ pub mod bounds;
 pub mod datacopy;
 pub mod evaluate;
 pub mod explore;
+pub mod fuse;
 pub mod geometry;
 pub mod memlevel;
 pub mod result;
@@ -63,7 +64,11 @@ pub mod tiling;
 
 pub use bounds::StrategyBounds;
 pub use evaluate::{DfCostModel, EvaluationError};
-pub use explore::{DfSweepRecord, ExplorationResult, Explorer, OptimizeTarget};
+pub use explore::{
+    CombinationResult, DfSweepRecord, ExplorationResult, Explorer, OptimizeTarget, ScheduleResult,
+    StackChoice,
+};
+pub use fuse::FusePolicy;
 pub use result::{DataClass, NetworkCost, StackCost, TileTypeCost};
 pub use stack::{FuseDepth, Stack};
 pub use strategy::{BetweenStackMemory, DfStrategy, OverlapMode, TileSize};

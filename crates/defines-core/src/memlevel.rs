@@ -125,8 +125,17 @@ impl<'a> CapacityTracker<'a> {
         }
     }
 
+    /// Reserves capacity at a level. Callers check the remaining capacity
+    /// before placing ([`CapacityTracker::place_lowest`],
+    /// [`CapacityTracker::place_highest_on_chip`]), so an over-reservation is
+    /// a placement accounting bug — the debug assertion surfaces it instead
+    /// of letting `saturating_sub` silently clamp the books to zero.
     fn reserve(&mut self, id: MemoryLevelId, bytes: u64) {
         if let Some(r) = self.remaining.get_mut(&id) {
+            debug_assert!(
+                bytes <= *r,
+                "over-reservation at memory level {id:?}: {bytes} bytes requested, {r} remaining"
+            );
             *r = r.saturating_sub(bytes);
         }
     }
@@ -323,6 +332,40 @@ mod tests {
         assert!(acc.hierarchy().level(p.weight).is_dram());
         assert_eq!(p.cache_h, None);
         assert_eq!(p.cache_v, None);
+    }
+
+    /// The path the old `saturating_sub` silently masked: reserving more than
+    /// a level's remaining capacity is an accounting bug and must be caught
+    /// (in debug builds) rather than clamped to zero.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "over-reservation")]
+    fn over_reservation_is_a_debug_assertion() {
+        let acc = meta_df();
+        let lb = lb_io(&acc);
+        let capacity = acc.hierarchy().level(lb).capacity_bytes().unwrap();
+        let mut tracker = CapacityTracker::new(&acc);
+        // First reservation drains the level; the second would have been
+        // silently saturated to zero before and now trips the assertion.
+        tracker.reserve(lb, capacity);
+        tracker.reserve(lb, 1);
+    }
+
+    /// The guarded placement entry points never over-reserve: draining a
+    /// level through `place_lowest` pushes later data upward instead of
+    /// tripping the reservation assertion.
+    #[test]
+    fn guarded_placement_never_over_reserves() {
+        let acc = meta_df();
+        let lb = lb_io(&acc);
+        let capacity = acc.hierarchy().level(lb).capacity_bytes().unwrap();
+        let mut tracker = CapacityTracker::new(&acc);
+        assert_eq!(tracker.place_lowest(Operand::Input, capacity), lb);
+        // The LB is now full: the same request lands one level higher
+        // without touching the LB's (exhausted) books.
+        let next = tracker.place_lowest(Operand::Input, capacity);
+        assert_ne!(next, lb);
+        assert_eq!(tracker.remaining[&lb], 0);
     }
 
     #[test]

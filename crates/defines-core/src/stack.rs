@@ -118,7 +118,11 @@ pub fn partition_into_stacks(net: &Network, acc: &Accelerator, fuse: &FuseDepth)
     }
 }
 
-fn auto_partition(net: &Network, acc: &Accelerator) -> Vec<Stack> {
+/// The automatic (greedy) partition used by [`FuseDepth::Auto`]. Exposed to
+/// the fuse-depth search ([`crate::fuse`]) so its candidate set always
+/// contains the heuristic's own stacks, guaranteeing the searched schedule is
+/// never worse than the heuristic one.
+pub(crate) fn auto_partition(net: &Network, acc: &Accelerator) -> Vec<Stack> {
     let budget = weight_fuse_budget_bytes(acc);
     let segments = segments(net);
     let mut stacks: Vec<Stack> = Vec::new();
@@ -160,7 +164,14 @@ fn auto_partition(net: &Network, acc: &Accelerator) -> Vec<Stack> {
 
 /// Splits the network into branch-free segments: maximal runs of consecutive
 /// layers ending at a cut point.
-fn segments(net: &Network) -> Vec<Vec<LayerId>> {
+///
+/// Segments are the atoms of the fuse-depth axis: "either all layers between
+/// two points where there are no branches are added to a stack, or none of
+/// them" (Section III). Every returned segment is a contiguous run of layer
+/// ids, the segments are in topological order, and together they cover every
+/// layer exactly once. The fuse-depth search ([`crate::fuse`]) enumerates its
+/// stack candidates as spans of consecutive segments.
+pub fn segments(net: &Network) -> Vec<Vec<LayerId>> {
     let cuts = net.cut_points();
     let mut segs = Vec::new();
     let mut start = 0usize;

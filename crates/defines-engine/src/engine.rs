@@ -153,6 +153,20 @@ pub struct SweepStats {
     pub elapsed: Duration,
 }
 
+impl SweepStats {
+    /// Fully evaluated design points per second of wall-clock time (zero for
+    /// an instantaneous or empty run) — the throughput figure streamed
+    /// reports print next to the evaluated/pruned counts.
+    pub fn points_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.evaluated as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 impl Serialize for SweepStats {
     fn to_value(&self) -> Value {
         Value::Object(vec![
@@ -204,6 +218,20 @@ impl SweepEngine {
     /// reports from concurrent sweeps stay attributable).
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = Some(label.into());
+        self
+    }
+
+    /// Returns a copy with run detail appended to the label as
+    /// `"label (detail)"` (or used as the label outright when none is set).
+    /// Searches that submit structured candidate sets — e.g. the fuse-depth
+    /// search's segment spans — use this so their [`SweepStats`] distinguish
+    /// themselves from plain design-point sweeps over the same workload.
+    pub fn with_label_detail(mut self, detail: impl Into<String>) -> Self {
+        let detail = detail.into();
+        self.label = Some(match self.label.take() {
+            Some(label) => format!("{label} ({detail})"),
+            None => detail,
+        });
         self
     }
 
