@@ -57,6 +57,11 @@ fn bench_engine_sweep(c: &mut Criterion) {
     write_report(&ctx, &net, &tiles);
 }
 
+/// The cold single-thread sequential sweep time recorded by PR 1's run of
+/// this bench (the pre-overhaul LOMA search and cost kernels). The cold-path
+/// overhaul is tracked as `sequential_cold_ms` against this number.
+const PR1_SEQUENTIAL_COLD_MS: f64 = 252.273;
+
 /// One-shot wall-clock comparison written to `BENCH_engine.json`.
 #[derive(Serialize)]
 struct EngineBenchReport {
@@ -69,6 +74,8 @@ struct EngineBenchReport {
     engine_warm_ms: f64,
     speedup_cold: f64,
     speedup_warm: f64,
+    pr1_sequential_cold_ms: f64,
+    cold_speedup_vs_pr1: f64,
     cache_entries: usize,
     cache_hit_rate: f64,
     results_identical: bool,
@@ -107,6 +114,8 @@ fn write_report(ctx: &ExperimentContext, net: &defines_workload::Network, tiles:
         engine_warm_ms: engine_warm.as_secs_f64() * 1e3,
         speedup_cold: sequential_cold.as_secs_f64() / engine_cold.as_secs_f64(),
         speedup_warm: sequential_cold.as_secs_f64() / engine_warm.as_secs_f64(),
+        pr1_sequential_cold_ms: PR1_SEQUENTIAL_COLD_MS,
+        cold_speedup_vs_pr1: PR1_SEQUENTIAL_COLD_MS / (sequential_cold.as_secs_f64() * 1e3),
         cache_entries: stats.entries,
         cache_hit_rate: stats.hit_rate(),
         results_identical: engine_first == sequential && engine_second == sequential,
@@ -119,9 +128,11 @@ fn write_report(ctx: &ExperimentContext, net: &defines_workload::Network, tiles:
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     write_json(path, &report).expect("write BENCH_engine.json");
     eprintln!(
-        "  BENCH_engine.json: sequential {:.1} ms | engine cold {:.1} ms ({:.2}x) | engine warm \
-         {:.1} ms ({:.2}x) | {} threads",
+        "  BENCH_engine.json: sequential {:.1} ms ({:.2}x vs PR-1's {:.0} ms) | engine cold \
+         {:.1} ms ({:.2}x) | engine warm {:.1} ms ({:.2}x) | {} threads",
         report.sequential_cold_ms,
+        report.cold_speedup_vs_pr1,
+        report.pr1_sequential_cold_ms,
         report.engine_cold_ms,
         report.speedup_cold,
         report.engine_warm_ms,

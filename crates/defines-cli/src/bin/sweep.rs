@@ -374,11 +374,12 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
         engine_stats.points_per_second(),
     );
     println!(
-        "mapping cache   : {} sub-problems, {} hits / {} misses ({:.1}% hit rate)",
+        "mapping cache   : {} sub-problems, {} hits / {} misses ({:.1}% hit rate, {} canonical)",
         cache.entries,
         cache.hits,
         cache.misses,
-        cache.hit_rate() * 100.0
+        cache.hit_rate() * 100.0,
+        cache.canonical_hits,
     );
 
     if let Some(path) = matches.value_of("json") {
@@ -409,6 +410,7 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
                     ("entries".into(), Value::U64(cache.entries as u64)),
                     ("hits".into(), Value::U64(cache.hits)),
                     ("misses".into(), Value::U64(cache.misses)),
+                    ("canonical_hits".into(), Value::U64(cache.canonical_hits)),
                     ("hit_rate".into(), Value::F64(cache.hit_rate())),
                 ]),
             ),

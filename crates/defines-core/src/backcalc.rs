@@ -98,21 +98,50 @@ impl TileAnalysis {
 }
 
 /// Pre-computed structural information of a stack used to analyze its tiles.
+///
+/// All per-layer back-calculation invariants — resolved layer references,
+/// every feature map's shape, and each layer's input feature maps as dense
+/// indices — are derived once here, so the per-tile analysis
+/// ([`StackGeometry::analyze_tile`], the hottest function of the depth-first
+/// model after the mapper) works on flat arrays instead of rebuilding keyed
+/// maps for every tile type.
 #[derive(Debug, Clone)]
 pub struct StackGeometry<'a> {
     net: &'a Network,
     stack: &'a Stack,
-    /// Input feature maps of each stack layer.
-    inputs_of: BTreeMap<LayerId, Vec<FmId>>,
-    /// Shape of every feature map touched by the stack.
-    fm_dims: BTreeMap<FmId, FmDims>,
+    /// Every feature map touched by the stack with its shape, sorted by
+    /// [`FmId`] (the iteration order all per-feature-map accumulations use).
+    fms: Vec<(FmId, FmDims)>,
+    /// Per stack layer (in stack order): the resolved layer, the dense index
+    /// of its own output feature map, and the dense indices of its inputs.
+    layers: Vec<StackLayer<'a>>,
+}
+
+/// Per-layer invariants of a stack, resolved once at geometry construction.
+#[derive(Debug, Clone)]
+struct StackLayer<'a> {
+    layer: &'a defines_workload::Layer,
+    /// Dense index (into [`StackGeometry::fms`]) of the layer's own output.
+    own_fm: usize,
+    /// Dense indices of the layer's input feature maps, in predecessor order.
+    inputs: Vec<usize>,
 }
 
 impl<'a> StackGeometry<'a> {
+    /// The network this geometry was built for.
+    pub fn net(&self) -> &'a Network {
+        self.net
+    }
+
+    /// The stack this geometry was built for.
+    pub fn stack(&self) -> &'a Stack {
+        self.stack
+    }
+
     /// Builds the geometry helper for one stack of a network.
     pub fn new(net: &'a Network, stack: &'a Stack) -> Self {
-        let mut inputs_of = BTreeMap::new();
-        let mut fm_dims = BTreeMap::new();
+        let mut inputs_of: BTreeMap<LayerId, Vec<FmId>> = BTreeMap::new();
+        let mut fm_dims: BTreeMap<FmId, FmDims> = BTreeMap::new();
         for &lid in &stack.layers {
             let layer = net.layer(lid);
             let preds = net.predecessors(lid);
@@ -158,24 +187,45 @@ impl<'a> StackGeometry<'a> {
                 bytes_per_element: u64::from(layer.act_bits.div_ceil(8)),
             });
         }
+        // Flatten into dense, FmId-sorted arrays (BTreeMap iteration is
+        // sorted, which fixes the accumulation order every tile analysis
+        // inherits).
+        let fms: Vec<(FmId, FmDims)> = fm_dims.into_iter().collect();
+        let index = |fm: FmId| -> usize {
+            fms.binary_search_by_key(&fm, |&(id, _)| id)
+                .expect("every referenced feature map was collected")
+        };
+        let layers = stack
+            .layers
+            .iter()
+            .map(|&lid| StackLayer {
+                layer: net.layer(lid),
+                own_fm: index(FmId::Internal(lid)),
+                inputs: inputs_of[&lid].iter().map(|&fm| index(fm)).collect(),
+            })
+            .collect();
         Self {
             net,
             stack,
-            inputs_of,
-            fm_dims,
+            fms,
+            layers,
         }
     }
 
     /// The shape of a feature map.
     pub fn fm_dims(&self, fm: FmId) -> FmDims {
-        self.fm_dims[&fm]
+        self.fms[self
+            .fms
+            .binary_search_by_key(&fm, |&(id, _)| id)
+            .expect("unknown feature map")]
+        .1
     }
 
     /// The external feature maps feeding the stack.
     pub fn external_inputs(&self) -> Vec<FmId> {
-        self.fm_dims
-            .keys()
-            .copied()
+        self.fms
+            .iter()
+            .map(|&(id, _)| id)
             .filter(|fm| matches!(fm, FmId::External(_)))
             .collect()
     }
@@ -209,6 +259,7 @@ impl<'a> StackGeometry<'a> {
         col: u64,
         row: u64,
     ) -> TileAnalysis {
+        let n_fms = self.fms.len();
         let tile_rect = grid.tile_rect(col, row);
         let left_edges = if mode.caches_horizontal() && col > 0 {
             Some(self.edge_projection(grid.tile_rect(col - 1, row)))
@@ -222,34 +273,35 @@ impl<'a> StackGeometry<'a> {
         };
 
         // Needed region of every feature map (union over consumers) and its
-        // "core" (stride-only) size used for cache-capacity estimation.
-        let mut needed: BTreeMap<FmId, Rect> = BTreeMap::new();
-        let mut core: BTreeMap<FmId, (u64, u64)> = BTreeMap::new();
-        let sink = self.stack.last_layer();
+        // "core" (stride-only) size used for cache-capacity estimation, as
+        // dense per-feature-map slots.
+        let mut needed: Vec<Option<Rect>> = vec![None; n_fms];
+        let mut core: Vec<Option<(u64, u64)>> = vec![None; n_fms];
+        let sink_pos = self.layers.len() - 1;
         let mut records_rev: Vec<LayerTileInfo> = Vec::with_capacity(self.stack.len());
 
-        for &lid in self.stack.layers.iter().rev() {
-            let layer = self.net.layer(lid);
-            let own_fm = FmId::Internal(lid);
-            let mut tc = if lid == sink {
+        for (pos, sl) in self.layers.iter().enumerate().rev() {
+            let layer = sl.layer;
+            let lid = self.stack.layers[pos];
+            let mut tc = if pos == sink_pos {
                 tile_rect
             } else {
-                needed.get(&own_fm).copied().unwrap_or_else(Rect::empty)
+                needed[sl.own_fm].unwrap_or_else(Rect::empty)
             };
-            let mut tc_core = if lid == sink {
+            let mut tc_core = if pos == sink_pos {
                 (tile_rect.width(), tile_rect.height())
             } else {
-                core.get(&own_fm).copied().unwrap_or((0, 0))
+                core[sl.own_fm].unwrap_or((0, 0))
             };
             // Trim the to-compute region by what neighbouring tiles already
             // produced (and cached) of this layer's output feature map.
             if let Some(le) = &left_edges {
-                if let Some(&(x1, _)) = le.get(&own_fm) {
+                if let Some((x1, _)) = le[sl.own_fm] {
                     tc = tc.trim_left_through(x1);
                 }
             }
             if let Some(ae) = &above_edges {
-                if let Some(&(_, y1)) = ae.get(&own_fm) {
+                if let Some((_, y1)) = ae[sl.own_fm] {
                     tc = tc.trim_top_through(y1);
                 }
             }
@@ -277,8 +329,8 @@ impl<'a> StackGeometry<'a> {
             let mut cached_h = 0u64;
             let mut cached_v = 0u64;
 
-            for &fm in &self.inputs_of[&lid] {
-                let fd = self.fm_dims[&fm];
+            for &fi in &sl.inputs {
+                let (fm, fd) = self.fms[fi];
                 let in_rect = project_to_input(
                     &tc,
                     (d.stride_x, d.stride_y),
@@ -291,17 +343,18 @@ impl<'a> StackGeometry<'a> {
                 }
                 // Accumulate the needed region of the producer (union of the
                 // outermost edges across branches, Fig. 8).
-                needed
-                    .entry(fm)
-                    .and_modify(|r| *r = r.union_bbox(&in_rect))
-                    .or_insert(in_rect);
+                needed[fi] = Some(match needed[fi] {
+                    Some(r) => r.union_bbox(&in_rect),
+                    None => in_rect,
+                });
                 let in_core = (
                     (tc_core.0 * d.stride_x).min(fd.width),
                     (tc_core.1 * d.stride_y).min(fd.height),
                 );
-                core.entry(fm)
-                    .and_modify(|c| *c = (c.0.max(in_core.0), c.1.max(in_core.1)))
-                    .or_insert(in_core);
+                core[fi] = Some(match core[fi] {
+                    Some(c) => (c.0.max(in_core.0), c.1.max(in_core.1)),
+                    None => in_core,
+                });
 
                 let per_pixel = fd.channels * fd.bytes_per_element;
                 let area = in_rect.area();
@@ -309,15 +362,11 @@ impl<'a> StackGeometry<'a> {
                 // horizontally cached columns, then fresh data.
                 let va = left_above_split(
                     &in_rect,
-                    above_edges
-                        .as_ref()
-                        .and_then(|m| m.get(&fm).map(|&(_, y1)| y1)),
+                    above_edges.as_ref().and_then(|m| m[fi].map(|(_, y1)| y1)),
                 );
                 let ha = left_above_split_h(
                     &in_rect,
-                    left_edges
-                        .as_ref()
-                        .and_then(|m| m.get(&fm).map(|&(x1, _)| x1)),
+                    left_edges.as_ref().and_then(|m| m[fi].map(|(x1, _)| x1)),
                     va.0,
                 );
                 let v_area = va.1;
@@ -353,15 +402,13 @@ impl<'a> StackGeometry<'a> {
         // Stack-wide cache capacity requirements (Fig. 7): the horizontal
         // cache keeps the kernel-growth halo of every consumed feature map for
         // the tiles of the current row; the vertical cache keeps full-width
-        // line buffers of the vertical halo.
+        // line buffers of the vertical halo. `fms` is FmId-sorted, preserving
+        // the accumulation order of the map-based implementation.
         let mut cache_h_bytes = 0u64;
         let mut cache_v_bytes = 0u64;
-        for (fm, rect) in &needed {
-            let fd = self.fm_dims[fm];
-            let (cw, ch) = core
-                .get(fm)
-                .copied()
-                .unwrap_or((rect.width(), rect.height()));
+        for (fi, &(_, fd)) in self.fms.iter().enumerate() {
+            let Some(rect) = needed[fi] else { continue };
+            let (cw, ch) = core[fi].unwrap_or((rect.width(), rect.height()));
             let per_pixel = fd.channels * fd.bytes_per_element;
             if mode.caches_horizontal() {
                 let halo_w = rect.width().saturating_sub(cw);
@@ -386,31 +433,29 @@ impl<'a> StackGeometry<'a> {
     /// These edges are independent of the overlap-storing mode (caching only
     /// trims regions on the left / top), which is what makes per-tile analysis
     /// independent of the processing history.
-    fn edge_projection(&self, tile_rect: Rect) -> BTreeMap<FmId, (i64, i64)> {
-        let mut edges: BTreeMap<FmId, (i64, i64)> = BTreeMap::new();
-        let sink = self.stack.last_layer();
-        for &lid in self.stack.layers.iter().rev() {
-            let layer = self.net.layer(lid);
-            let own_fm = FmId::Internal(lid);
-            let (tx1, ty1) = if lid == sink {
+    fn edge_projection(&self, tile_rect: Rect) -> Vec<Option<(i64, i64)>> {
+        let mut edges: Vec<Option<(i64, i64)>> = vec![None; self.fms.len()];
+        let sink_pos = self.layers.len() - 1;
+        for (pos, sl) in self.layers.iter().enumerate().rev() {
+            let (tx1, ty1) = if pos == sink_pos {
                 (tile_rect.x1, tile_rect.y1)
             } else {
-                match edges.get(&own_fm) {
-                    Some(&e) => e,
+                match edges[sl.own_fm] {
+                    Some(e) => e,
                     None => continue,
                 }
             };
-            let d = &layer.dims;
-            for &fm in &self.inputs_of[&lid] {
-                let fd = self.fm_dims[&fm];
+            let d = &sl.layer.dims;
+            for &fi in &sl.inputs {
+                let fd = self.fms[fi].1;
                 let ix1 = (tx1 * d.stride_x as i64 - d.pad_x as i64 + d.fx as i64 - 1)
                     .min(fd.width as i64 - 1);
                 let iy1 = (ty1 * d.stride_y as i64 - d.pad_y as i64 + d.fy as i64 - 1)
                     .min(fd.height as i64 - 1);
-                edges
-                    .entry(fm)
-                    .and_modify(|e| *e = (e.0.max(ix1), e.1.max(iy1)))
-                    .or_insert((ix1, iy1));
+                edges[fi] = Some(match edges[fi] {
+                    Some(e) => (e.0.max(ix1), e.1.max(iy1)),
+                    None => (ix1, iy1),
+                });
             }
         }
         edges

@@ -78,7 +78,8 @@ impl<'a> StrategyBounds<'a> {
         partition_into_stacks(self.net, self.acc, &strategy.fuse)
             .iter()
             .map(|stack| {
-                tile_type_analyses(self.net, stack, strategy.tile, strategy.mode)
+                let geometry = crate::backcalc::StackGeometry::new(self.net, stack);
+                tile_type_analyses(&geometry, strategy.tile, strategy.mode)
                     .iter()
                     .map(|(analysis, count)| analysis.total_macs() * count)
                     .sum::<u64>()

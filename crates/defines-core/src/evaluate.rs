@@ -13,9 +13,10 @@ use defines_mapping::{
     AccessBreakdown, LayerCost, LomaMapper, MapperConfig, MappingCache, Objective,
     OperandTopLevels, SingleLayerProblem,
 };
-use defines_workload::{LayerDims, LayerId, Network};
-use std::collections::{BTreeMap, HashMap};
+use defines_workload::{Layer, LayerDims, Network};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// Errors produced while evaluating a network.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +72,67 @@ pub struct DfCostModel<'a> {
     mapper: LomaMapper,
     policy: PlacementPolicy,
     cache: MappingCache,
+    /// [`Accelerator::fingerprint`] of `acc`, computed once — every mapping
+    /// cache lookup needs it and hashing the full architecture per lookup is
+    /// measurable on the hot path.
+    acc_fingerprint: u64,
+    /// Reusable per-evaluation scratch buffers (one per concurrently running
+    /// stack evaluation), so the hot path allocates nothing per tile type.
+    scratch: Mutex<Vec<EvalScratch>>,
+}
+
+/// Reusable buffers for one stack evaluation. Taken from (and returned to)
+/// the model's scratch pool so concurrent engine workers each reuse their own
+/// buffers instead of allocating per tile type.
+#[derive(Default)]
+struct EvalScratch {
+    /// Data-copy actions of the layer currently being evaluated.
+    actions: Vec<DataCopyAction>,
+    /// Memory level holding each stack layer's freshly produced output,
+    /// indexed by the layer's position in the stack.
+    output_levels: Vec<MemoryLevelId>,
+}
+
+/// Per-layer facts of a stack that every tile type re-uses: resolved layer
+/// reference, whether the layer carries weights, and the stack positions of
+/// its in-stack predecessors. Computed once per stack instead of once per
+/// tile type.
+struct LayerInvariant<'n> {
+    layer: &'n Layer,
+    has_weights: bool,
+    pred_positions: Vec<usize>,
+}
+
+fn layer_invariants<'n>(net: &'n Network, stack: &Stack) -> Vec<LayerInvariant<'n>> {
+    stack
+        .layers
+        .iter()
+        .map(|&lid| {
+            let layer = net.layer(lid);
+            let pred_positions = net
+                .predecessors(lid)
+                .iter()
+                .filter_map(|p| stack.layers.iter().position(|&s| s == *p))
+                .collect();
+            LayerInvariant {
+                layer,
+                has_weights: layer.op.has_weights() && layer.weight_bytes() > 0,
+                pred_positions,
+            }
+        })
+        .collect()
+}
+
+/// The per-tile cost components produced by the tile-type evaluation, before
+/// the caller attaches the analysis and tile count.
+struct TileEval {
+    energy_pj: f64,
+    latency_cycles: f64,
+    macs: u64,
+    activation_access: AccessBreakdown,
+    weight_access: AccessBreakdown,
+    copy_access: AccessBreakdown,
+    energy_summary: EnergySummary,
 }
 
 impl<'a> fmt::Debug for DfCostModel<'a> {
@@ -92,7 +154,24 @@ impl<'a> DfCostModel<'a> {
             mapper: LomaMapper::default(),
             policy: PlacementPolicy::default(),
             cache: MappingCache::new(),
+            acc_fingerprint: acc.fingerprint(),
+            scratch: Mutex::new(Vec::new()),
         }
+    }
+
+    fn take_scratch(&self) -> EvalScratch {
+        self.scratch
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put_scratch(&self, scratch: EvalScratch) {
+        self.scratch
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
     }
 
     /// The accelerator under evaluation.
@@ -164,11 +243,13 @@ impl<'a> DfCostModel<'a> {
         validate_stacks(net, &stacks)?;
         let mut stack_costs = Vec::with_capacity(stacks.len());
         for stack in &stacks {
-            let in_level = self.stack_input_level(net, stack, strategy.between_stacks);
+            // One geometry per stack: shared by the between-stack level
+            // resolution and every tile-type analysis of the stack.
+            let geometry = StackGeometry::new(net, stack);
+            let in_level = self.stack_input_level(&geometry, strategy.between_stacks);
             let out_level = self.stack_output_level(net, stack, strategy.between_stacks);
-            stack_costs.push(self.evaluate_stack(
-                net,
-                stack,
+            stack_costs.push(self.evaluate_stack_with_geometry(
+                &geometry,
                 strategy.tile,
                 strategy.mode,
                 in_level,
@@ -190,29 +271,75 @@ impl<'a> DfCostModel<'a> {
         stack_input_level: MemoryLevelId,
         stack_output_level: MemoryLevelId,
     ) -> StackCost {
+        let geometry = StackGeometry::new(net, stack);
+        self.evaluate_stack_with_geometry(
+            &geometry,
+            tile,
+            mode,
+            stack_input_level,
+            stack_output_level,
+        )
+    }
+
+    /// [`DfCostModel::evaluate_stack`] on a pre-built stack geometry, so
+    /// callers evaluating many (tile, mode) candidates for the same stack —
+    /// the combination and fuse-depth searches — pay the geometry
+    /// back-calculation setup once.
+    pub(crate) fn evaluate_stack_with_geometry(
+        &self,
+        geometry: &StackGeometry<'_>,
+        tile: TileSize,
+        mode: OverlapMode,
+        stack_input_level: MemoryLevelId,
+        stack_output_level: MemoryLevelId,
+    ) -> StackCost {
+        let net = geometry.net();
+        let stack = geometry.stack();
         let sink = net.layer(stack.last_layer());
         let grid = TileGrid::new(sink.dims.ox, sink.dims.oy, tile);
         let stack_weight_bytes = stack.weight_bytes(net);
+        let invariants = layer_invariants(net, stack);
+        let mut scratch = self.take_scratch();
 
         // Steps 2–5 per unique tile type (step 1 identifies the types).
+        // Signature groups are deduplicated by hash bucket (full equality
+        // only within a bucket), without cloning any analysis: small tiles on
+        // deep stacks can produce thousands of signature groups that collapse
+        // to a handful of tile types.
         let mut type_costs: Vec<TileTypeCost> = Vec::new();
-        let mut analysis_index: HashMap<TileAnalysis, usize> = HashMap::new();
-        for (analysis, count) in tile_type_analyses(net, stack, tile, mode) {
-            if let Some(&idx) = analysis_index.get(&analysis) {
-                type_costs[idx].count += count;
+        let mut index: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (analysis, count) in tile_type_analyses(geometry, tile, mode) {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            analysis.hash(&mut hasher);
+            let bucket = index.entry(hasher.finish()).or_default();
+            if let Some(&i) = bucket.iter().find(|&&i| type_costs[i].analysis == analysis) {
+                type_costs[i].count += count;
                 continue;
             }
-            let cost = self.evaluate_tile_type(
-                net,
-                stack,
+            bucket.push(type_costs.len());
+            let eval = self.evaluate_tile_type(
+                &invariants,
                 &analysis,
                 stack_weight_bytes,
                 stack_input_level,
                 stack_output_level,
+                &mut scratch,
             );
-            analysis_index.insert(analysis.clone(), type_costs.len());
-            type_costs.push(TileTypeCost { count, ..cost });
+            type_costs.push(TileTypeCost {
+                analysis,
+                count,
+                energy_pj: eval.energy_pj,
+                latency_cycles: eval.latency_cycles,
+                macs: eval.macs,
+                activation_access: eval.activation_access,
+                weight_access: eval.weight_access,
+                copy_access: eval.copy_access,
+                energy_summary: eval.energy_summary,
+            });
         }
+        self.put_scratch(scratch);
 
         // Step 6: accumulate.
         let mut energy = 0.0;
@@ -227,9 +354,9 @@ impl<'a> DfCostModel<'a> {
             energy += t.energy_pj * f;
             latency += t.latency_cycles * f;
             macs += t.macs * t.count;
-            activation.merge(&t.activation_access.scaled(f));
-            weight.merge(&t.weight_access.scaled(f));
-            copy.merge(&t.copy_access.scaled(f));
+            activation.merge_scaled(&t.activation_access, f);
+            weight.merge_scaled(&t.weight_access, f);
+            copy.merge_scaled(&t.copy_access, f);
             summary.accumulate(&t.energy_summary.scaled(f));
         }
 
@@ -251,13 +378,13 @@ impl<'a> DfCostModel<'a> {
     /// for every layer of the stack (steps 3–5), for a single tile.
     fn evaluate_tile_type(
         &self,
-        net: &Network,
-        stack: &Stack,
+        invariants: &[LayerInvariant<'_>],
         analysis: &TileAnalysis,
         stack_weight_bytes: u64,
         stack_input_level: MemoryLevelId,
         stack_output_level: MemoryLevelId,
-    ) -> TileTypeCost {
+        scratch: &mut EvalScratch,
+    ) -> TileEval {
         let dram = self.acc.hierarchy().dram_id();
         let mut energy = 0.0;
         let mut latency = 0.0;
@@ -266,22 +393,23 @@ impl<'a> DfCostModel<'a> {
         let mut weight_access = AccessBreakdown::new();
         let mut copy_access = AccessBreakdown::new();
         let mut mac_energy = 0.0;
-        let mut copy_energy_total = 0.0;
-        // Where each stack layer's freshly produced output resides.
-        let mut output_levels: BTreeMap<LayerId, MemoryLevelId> = BTreeMap::new();
+        // Where each stack layer's freshly produced output resides, by stack
+        // position (`analysis.layers` is in stack order).
+        let output_levels = &mut scratch.output_levels;
+        output_levels.clear();
+        let last = analysis.layers.len() - 1;
 
-        for rec in &analysis.layers {
+        for (pos, (rec, inv)) in analysis.layers.iter().zip(invariants).enumerate() {
             if rec.to_compute_w == 0 || rec.to_compute_h == 0 {
-                output_levels.insert(rec.layer, stack_input_level);
+                output_levels.push(stack_input_level);
                 continue;
             }
-            let layer = net.layer(rec.layer);
-            let has_weights = layer.op.has_weights() && layer.weight_bytes() > 0;
+            let layer = inv.layer;
 
             // Step 3: determine the top memory level of every data class.
             let request = PlacementRequest {
                 stack_weight_bytes,
-                layer_has_weights: has_weights,
+                layer_has_weights: inv.has_weights,
                 is_first_tile: analysis.is_first_tile,
                 input_bytes: rec.input_bytes,
                 output_bytes: rec.output_bytes,
@@ -294,7 +422,7 @@ impl<'a> DfCostModel<'a> {
             } else {
                 placement.input
             };
-            let output_top = if rec.layer == stack.last_layer() {
+            let output_top = if pos == last {
                 placement.output.max(stack_output_level)
             } else {
                 placement.output
@@ -308,14 +436,14 @@ impl<'a> DfCostModel<'a> {
             // Step 4: data copy actions that collect the inputs at the
             // determined level and maintain the overlap caches.
             let internal_fresh = rec.fresh_input_bytes - rec.external_input_bytes;
-            let producer_level = net
-                .predecessors(rec.layer)
+            let producer_level = inv
+                .pred_positions
                 .iter()
-                .filter(|p| stack.contains(**p))
-                .map(|p| output_levels.get(p).copied().unwrap_or(stack_input_level))
+                .map(|&p| output_levels[p])
                 .max()
                 .unwrap_or(stack_input_level);
-            let mut actions: Vec<DataCopyAction> = Vec::new();
+            let actions = &mut scratch.actions;
+            actions.clear();
             if input_top != dram {
                 actions.push(DataCopyAction::new(
                     rec.external_input_bytes,
@@ -368,7 +496,7 @@ impl<'a> DfCostModel<'a> {
                     }
                 }
             }
-            let copies = copy_cost(self.acc, &actions);
+            let copies = copy_cost(self.acc, actions);
 
             // Step 5: single-layer mapper + cost model on the adjusted
             // problem.
@@ -391,7 +519,6 @@ impl<'a> DfCostModel<'a> {
             latency += layer_cost.latency_cycles + copies.latency_cycles;
             macs += layer_cost.macs;
             mac_energy += layer_cost.mac_energy_pj;
-            copy_energy_total += copies.energy_pj;
             copy_access.merge(&copies.accesses);
             for (level, operand, access) in layer_cost.accesses.iter() {
                 let target = if operand == Operand::Weight {
@@ -402,7 +529,7 @@ impl<'a> DfCostModel<'a> {
                 target.add_reads(level, operand, access.reads_bytes);
                 target.add_writes(level, operand, access.writes_bytes);
             }
-            output_levels.insert(rec.layer, output_top);
+            output_levels.push(output_top);
         }
 
         let summary = energy_summary(
@@ -412,11 +539,8 @@ impl<'a> DfCostModel<'a> {
             &weight_access,
             &copy_access,
         );
-        let _ = copy_energy_total;
 
-        TileTypeCost {
-            analysis: analysis.clone(),
-            count: 0,
+        TileEval {
             energy_pj: energy,
             latency_cycles: latency,
             macs,
@@ -427,26 +551,32 @@ impl<'a> DfCostModel<'a> {
         }
     }
 
-    /// Memoized single-layer evaluation through the mapping cache.
+    /// Memoized single-layer evaluation through the mapping cache. Returns a
+    /// shared handle: a cache hit is a reference-count bump, not a deep copy
+    /// of the access breakdown.
     fn evaluate_layer_tile(
         &self,
-        layer: &defines_workload::Layer,
+        layer: &Layer,
         dims: LayerDims,
         tops: OperandTopLevels,
-    ) -> LayerCost {
+    ) -> Arc<LayerCost> {
         let problem = SingleLayerProblem::for_tile(self.acc, layer, dims, tops);
-        self.cache.optimize(&self.mapper, &problem)
+        let (key, canonicalized) = defines_mapping::ProblemKey::canonical_with_fingerprints(
+            &problem,
+            self.acc_fingerprint,
+            self.mapper.config_fingerprint(),
+        );
+        self.cache
+            .optimize_shared_keyed(key, canonicalized, &self.mapper, &problem)
     }
 
     /// The memory level the stack's external inputs reside in.
     fn stack_input_level(
         &self,
-        net: &Network,
-        stack: &Stack,
+        geometry: &StackGeometry<'_>,
         policy: BetweenStackMemory,
     ) -> MemoryLevelId {
         let dram = self.acc.hierarchy().dram_id();
-        let geometry = StackGeometry::new(net, stack);
         let mut level = MemoryLevelId(0);
         let externals = geometry.external_inputs();
         if externals.is_empty() {
@@ -509,14 +639,14 @@ impl<'a> DfCostModel<'a> {
 /// `analysis.total_macs() × count` prices a design point's compute without
 /// running placement, data-copy or mapping steps.
 pub(crate) fn tile_type_analyses(
-    net: &Network,
-    stack: &Stack,
+    geometry: &StackGeometry<'_>,
     tile: TileSize,
     mode: OverlapMode,
 ) -> Vec<(TileAnalysis, u64)> {
+    let net = geometry.net();
+    let stack = geometry.stack();
     let sink = net.layer(stack.last_layer());
     let grid = TileGrid::new(sink.dims.ox, sink.dims.oy, tile);
-    let geometry = StackGeometry::new(net, stack);
     let (halo_x, halo_y) = geometry.max_halo();
     let (tx, ty) = grid.tile_size();
     let class_x = halo_x / tx + 2;
@@ -599,7 +729,7 @@ mod tests {
     use super::*;
     use crate::stack::FuseDepth;
     use defines_arch::zoo;
-    use defines_workload::{models, Layer, OpType};
+    use defines_workload::{models, LayerId, OpType};
 
     fn small_net() -> Network {
         let mut net = Network::new("small");

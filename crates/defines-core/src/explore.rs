@@ -382,6 +382,9 @@ impl<'a> Explorer<'a> {
         let points = self.design_points(tile_sizes, modes);
         let bounds = StrategyBounds::new(net, acc, target);
         let engine = self.engine.clone().with_label(net.name());
+        // Snapshot so the attached cache statistics describe this run, not
+        // the cache's lifetime (the model may have served earlier sweeps).
+        let cache_before = self.model.mapping_cache().stats();
         let stats = engine.run(
             &points,
             &self.network_evaluator(net),
@@ -389,7 +392,7 @@ impl<'a> Explorer<'a> {
             Some(&|s: &DfStrategy| bounds.lower_bound(s)),
             on_record,
         );
-        Ok(stats)
+        Ok(stats.with_cache(self.model.mapping_cache().stats().since(&cache_before)))
     }
 
     /// Finds the best single strategy over a sweep, according to the target.
@@ -532,12 +535,20 @@ impl<'a> Explorer<'a> {
                 let values: Vec<f64> = best.iter().map(|b| b.2).collect();
                 let (chosen, _) = optimal_partition(net.len(), &spans, &values)
                     .expect("single-layer candidates make every partition boundary reachable");
+                // The chosen candidate indices are distinct (they tile the
+                // network), so their choices and stacks can be moved out
+                // instead of cloned.
+                let mut best: Vec<Option<_>> = best.into_iter().map(Some).collect();
+                let mut candidates: Vec<Option<Stack>> = candidates.into_iter().map(Some).collect();
                 let mut choices = Vec::with_capacity(chosen.len());
                 let mut stack_costs = Vec::with_capacity(chosen.len());
                 for idx in chosen {
-                    let (tile, mode, value, cost) = best[idx].clone();
+                    let (tile, mode, value, cost) =
+                        best[idx].take().expect("partition indices are distinct");
                     choices.push(StackChoice {
-                        stack: candidates[idx].clone(),
+                        stack: candidates[idx]
+                            .take()
+                            .expect("partition indices are distinct"),
                         tile,
                         mode,
                         value,
@@ -603,18 +614,33 @@ impl<'a> Explorer<'a> {
             }
         }
 
+        // One geometry per candidate stack, shared by all its (tile, mode)
+        // evaluations instead of being re-derived per design point.
+        let geometries: Vec<crate::backcalc::StackGeometry<'_>> = stacks
+            .iter()
+            .map(|stack| crate::backcalc::StackGeometry::new(net, stack))
+            .collect();
+
         let engine = SweepEngine::new(self.engine.config().with_pruning(false))
             .with_label(net.name())
             .with_label_detail(format!("{} stack candidates", stacks.len()));
+        // Snapshot so the attached cache statistics describe this run alone.
+        let cache_before = self.model.mapping_cache().stats();
         let (records, stats) = engine.run_collect(
             &points,
             &|&(stack_idx, tile, mode): &(usize, TileSize, OverlapMode)| {
-                self.model
-                    .evaluate_stack(net, &stacks[stack_idx], tile, mode, dram, dram)
+                self.model.evaluate_stack_with_geometry(
+                    &geometries[stack_idx],
+                    tile,
+                    mode,
+                    dram,
+                    dram,
+                )
             },
             &|_, c: &StackCost| target.stack_value(c, acc),
             None::<&fn(&(usize, TileSize, OverlapMode)) -> f64>,
         );
+        let stats = stats.with_cache(self.model.mapping_cache().stats().since(&cache_before));
 
         // Per stack, pick the candidate with the minimal target value; ties
         // resolve to the earliest candidate, matching a sequential scan.

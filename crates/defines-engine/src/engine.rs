@@ -1,5 +1,6 @@
 //! The work-queue parallel sweep executor with pruning and streaming results.
 
+use crate::memo::CacheStats;
 use serde::{Serialize, Value};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -151,9 +152,22 @@ pub struct SweepStats {
     pub threads: usize,
     /// Wall-clock time of the sweep.
     pub elapsed: Duration,
+    /// Snapshot of the memoization cache backing the sweep's evaluations, if
+    /// the caller attached one (see
+    /// [`SweepStats::with_cache`]). Includes canonical-key hits, so streamed
+    /// reports can show how much of the reuse came from problem
+    /// canonicalization rather than exact repetition.
+    pub cache: Option<CacheStats>,
 }
 
 impl SweepStats {
+    /// Returns a copy with a cache-statistics snapshot attached (typically
+    /// taken from the mapping cache right after the run finishes).
+    pub fn with_cache(mut self, cache: CacheStats) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Fully evaluated design points per second of wall-clock time (zero for
     /// an instantaneous or empty run) — the throughput figure streamed
     /// reports print next to the evaluated/pruned counts.
@@ -169,7 +183,7 @@ impl SweepStats {
 
 impl Serialize for SweepStats {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("label".to_string(), Value::Str(self.label.clone())),
             ("points".to_string(), Value::U64(self.points as u64)),
             ("evaluated".to_string(), Value::U64(self.evaluated as u64)),
@@ -179,7 +193,23 @@ impl Serialize for SweepStats {
                 "elapsed_ms".to_string(),
                 Value::F64(self.elapsed.as_secs_f64() * 1e3),
             ),
-        ])
+        ];
+        if let Some(cache) = &self.cache {
+            fields.push((
+                "cache".to_string(),
+                Value::Object(vec![
+                    ("entries".to_string(), Value::U64(cache.entries as u64)),
+                    ("hits".to_string(), Value::U64(cache.hits)),
+                    ("misses".to_string(), Value::U64(cache.misses)),
+                    (
+                        "canonical_hits".to_string(),
+                        Value::U64(cache.canonical_hits),
+                    ),
+                    ("hit_rate".to_string(), Value::F64(cache.hit_rate())),
+                ]),
+            ));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -277,6 +307,7 @@ impl SweepEngine {
             pruned,
             threads,
             elapsed: start.elapsed(),
+            cache: None,
         }
     }
 

@@ -17,11 +17,31 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compute the value.
     pub misses: u64,
+    /// The subset of `hits` that were only found because the caller
+    /// *canonicalized* its key first — the raw problem differed from the
+    /// cached one but provably maps to the same value (see
+    /// [`MemoCache::record_canonical_hit`]). Without canonicalization these
+    /// lookups would have been misses, so tracking them separately keeps the
+    /// plain hit/miss ratio comparable across cache-key schemes.
+    pub canonical_hits: u64,
     /// Distinct entries currently stored.
     pub entries: usize,
 }
 
 impl CacheStats {
+    /// The counter delta since an earlier snapshot of the same cache:
+    /// hits / misses / canonical hits are differenced (so the result
+    /// describes one run, not the cache's lifetime), while `entries` stays
+    /// the current absolute count.
+    pub fn since(&self, before: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - before.hits,
+            misses: self.misses - before.misses,
+            canonical_hits: self.canonical_hits - before.canonical_hits,
+            entries: self.entries,
+        }
+    }
+
     /// Fraction of lookups answered from the cache (0 when never queried).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -44,6 +64,7 @@ pub struct MemoCache<K, V> {
     shards: Vec<Mutex<HashMap<K, V>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    canonical_hits: AtomicU64,
 }
 
 impl<K, V> std::fmt::Debug for MemoCache<K, V> {
@@ -68,6 +89,7 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            canonical_hits: AtomicU64::new(0),
         }
     }
 
@@ -80,10 +102,16 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
     /// Returns the cached value for `key`, computing and inserting it on a
     /// miss.
     pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        self.get_or_insert_with_meta(key, compute).0
+    }
+
+    /// Like [`MemoCache::get_or_insert_with`], additionally reporting whether
+    /// the lookup was answered from the cache (`true`) or computed (`false`).
+    pub fn get_or_insert_with_meta(&self, key: K, compute: impl FnOnce() -> V) -> (V, bool) {
         let shard = self.shard(&key);
         if let Some(hit) = shard.lock().expect("cache shard poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+            return (hit.clone(), true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute();
@@ -92,7 +120,16 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
             .expect("cache shard poisoned")
             .entry(key)
             .or_insert_with(|| value.clone());
-        value
+        (value, false)
+    }
+
+    /// Attributes the most recent hit to key canonicalization: the caller's
+    /// raw key differed from the cached canonical one. Callers that
+    /// canonicalize keys invoke this after a hit on a canonicalized key so
+    /// [`CacheStats::canonical_hits`] counts the lookups that plain raw-key
+    /// caching would have missed.
+    pub fn record_canonical_hit(&self) {
+        self.canonical_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The cached value for `key`, if present (counts as a hit/miss).
@@ -130,6 +167,7 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.canonical_hits.store(0, Ordering::Relaxed);
     }
 
     /// Current hit/miss statistics.
@@ -137,6 +175,7 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            canonical_hits: self.canonical_hits.load(Ordering::Relaxed),
             entries: self.len(),
         }
     }
@@ -166,6 +205,23 @@ mod tests {
         assert_eq!(stats.hits, 8);
         assert_eq!(stats.entries, 4);
         assert!((stats.hit_rate() - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_reports_per_run_deltas() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        cache.get_or_insert_with(1, || 10);
+        cache.get_or_insert_with(1, || 10);
+        let before = cache.stats();
+        cache.get_or_insert_with(2, || 20);
+        cache.get_or_insert_with(1, || 10);
+        cache.record_canonical_hit();
+        let delta = cache.stats().since(&before);
+        assert_eq!(delta.hits, 1);
+        assert_eq!(delta.misses, 1);
+        assert_eq!(delta.canonical_hits, 1);
+        // Entries stay absolute: they describe the cache, not the run.
+        assert_eq!(delta.entries, 2);
     }
 
     #[test]

@@ -95,7 +95,7 @@ pub fn usable_levels(problem: &SingleLayerProblem<'_>, operand: Operand) -> Vec<
 
 /// How many operands of this problem can use a given memory level. Used to
 /// split the capacity of shared memories.
-fn sharers(problem: &SingleLayerProblem<'_>, level: MemoryLevelId) -> u64 {
+pub(crate) fn sharers(problem: &SingleLayerProblem<'_>, level: MemoryLevelId) -> u64 {
     Operand::ALL
         .iter()
         .filter(|&&op| {

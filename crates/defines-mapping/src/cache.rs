@@ -22,6 +22,10 @@ use std::sync::Arc;
 /// Two problems with equal keys are guaranteed to produce bit-identical
 /// [`LayerCost`]s under the same [`MapperConfig`](crate::MapperConfig),
 /// because the mapper is deterministic in the problem alone.
+///
+/// [`ProblemKey::canonical`] additionally normalizes the components that
+/// provably cannot influence the result, so problems that differ only in
+/// those share one cache entry (a *canonical hit*).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProblemKey {
     /// Structural fingerprint of the accelerator
@@ -43,7 +47,8 @@ pub struct ProblemKey {
 }
 
 impl ProblemKey {
-    /// Builds the key for a problem solved by a specific mapper.
+    /// Builds the raw (uncanonicalized) key for a problem solved by a
+    /// specific mapper.
     pub fn new(problem: &SingleLayerProblem<'_>, mapper: &LomaMapper) -> Self {
         Self {
             accelerator: problem.accelerator.fingerprint(),
@@ -55,6 +60,68 @@ impl ProblemKey {
             mapper: mapper.config_fingerprint(),
         }
     }
+
+    /// Builds the canonical key for a problem: the raw key with every
+    /// component the single-layer model provably ignores normalized away.
+    /// Returns the key and whether canonicalization changed anything (i.e.
+    /// whether a hit on this key may be a *canonical* hit).
+    ///
+    /// Normalized components:
+    ///
+    /// * **padding** — the single-layer cost model never reads `pad_x` /
+    ///   `pad_y`: footprints use the un-padded input extent, the resident
+    ///   data sizes use stride and kernel only, and the PE utilization uses
+    ///   the plain loop bounds. Tiles (padding already zeroed) therefore
+    ///   share entries with identically-shaped full layers.
+    /// * **weight precision and weight top level for weight-less operators**
+    ///   (pooling, add) — a zero weight footprint removes the weight operand
+    ///   from allocation, traffic and capacity sharing entirely, so neither
+    ///   value can reach the result. This is what makes tile problems that
+    ///   differ only in the placement of (non-existent) weights — common in
+    ///   pooling/add-heavy sweeps — resolve to one cache entry.
+    pub fn canonical(problem: &SingleLayerProblem<'_>, mapper: &LomaMapper) -> (Self, bool) {
+        Self::canonical_with_fingerprints(
+            problem,
+            problem.accelerator.fingerprint(),
+            mapper.config_fingerprint(),
+        )
+    }
+
+    /// [`ProblemKey::canonical`] with the accelerator / mapper fingerprints
+    /// supplied by the caller. The fingerprints hash the full architecture
+    /// description, so callers that resolve many sub-problems against one
+    /// accelerator (the depth-first cost model) compute them once instead of
+    /// once per lookup.
+    pub fn canonical_with_fingerprints(
+        problem: &SingleLayerProblem<'_>,
+        accelerator: u64,
+        mapper: u64,
+    ) -> (Self, bool) {
+        let mut key = Self {
+            accelerator,
+            op: problem.op,
+            dims: problem.dims,
+            act_bits: problem.act_bits,
+            weight_bits: problem.weight_bits,
+            top_levels: problem.top_levels,
+            mapper,
+        };
+        let mut changed = false;
+        if key.dims.pad_x != 0 || key.dims.pad_y != 0 {
+            key.dims.pad_x = 0;
+            key.dims.pad_y = 0;
+            changed = true;
+        }
+        if problem.weight_footprint_bytes() == 0 {
+            let dram = problem.accelerator.hierarchy().dram_id();
+            if key.weight_bits != 0 || key.top_levels.weight != dram {
+                key.weight_bits = 0;
+                key.top_levels.weight = dram;
+                changed = true;
+            }
+        }
+        (key, changed)
+    }
 }
 
 /// A shared, thread-safe cache of single-layer mapping results.
@@ -62,9 +129,15 @@ impl ProblemKey {
 /// Cloning the handle is cheap (`Arc`); all clones share the same entries and
 /// statistics. The cache is safe to share across threads, accelerators and
 /// mapper configurations — the key disambiguates all of them.
+///
+/// Entries are stored behind an `Arc`, so the hot path
+/// ([`MappingCache::optimize_shared`]) hands out shared references instead of
+/// deep-copying the access breakdown on every hit; problems are keyed by
+/// their [canonical form](ProblemKey::canonical), with canonical hits counted
+/// separately in the [`CacheStats`].
 #[derive(Debug, Clone, Default)]
 pub struct MappingCache {
-    inner: Arc<MemoCache<ProblemKey, LayerCost>>,
+    inner: Arc<MemoCache<ProblemKey, Arc<LayerCost>>>,
 }
 
 impl MappingCache {
@@ -75,9 +148,38 @@ impl MappingCache {
 
     /// Returns the cached cost for the problem, running the mapper on a miss.
     pub fn optimize(&self, mapper: &LomaMapper, problem: &SingleLayerProblem<'_>) -> LayerCost {
-        let key = ProblemKey::new(problem, mapper);
-        self.inner
-            .get_or_insert_with(key, || mapper.optimize(problem))
+        (*self.optimize_shared(mapper, problem)).clone()
+    }
+
+    /// Returns a shared handle to the cached cost for the problem, running
+    /// the mapper on a miss. The allocation-free variant of
+    /// [`MappingCache::optimize`]: a hit costs one reference-count bump
+    /// instead of a deep copy of the cost record.
+    pub fn optimize_shared(
+        &self,
+        mapper: &LomaMapper,
+        problem: &SingleLayerProblem<'_>,
+    ) -> Arc<LayerCost> {
+        let (key, canonicalized) = ProblemKey::canonical(problem, mapper);
+        self.optimize_shared_keyed(key, canonicalized, mapper, problem)
+    }
+
+    /// [`MappingCache::optimize_shared`] with a pre-built canonical key (see
+    /// [`ProblemKey::canonical_with_fingerprints`]).
+    pub fn optimize_shared_keyed(
+        &self,
+        key: ProblemKey,
+        canonicalized: bool,
+        mapper: &LomaMapper,
+        problem: &SingleLayerProblem<'_>,
+    ) -> Arc<LayerCost> {
+        let (cost, hit) = self
+            .inner
+            .get_or_insert_with_meta(key, || Arc::new(mapper.optimize(problem)));
+        if hit && canonicalized {
+            self.inner.record_canonical_hit();
+        }
+        cost
     }
 
     /// Hit/miss statistics accumulated since creation (or the last clear).
@@ -95,7 +197,7 @@ impl MappingCache {
 mod tests {
     use super::*;
     use crate::loma::MapperConfig;
-    use defines_arch::zoo;
+    use defines_arch::{zoo, Operand};
     use defines_workload::{Layer, LayerDims, OpType};
 
     fn layer() -> Layer {
@@ -132,6 +234,46 @@ mod tests {
         assert_ne!(ProblemKey::new(&pa, &fast), ProblemKey::new(&pb, &fast));
         assert_ne!(ProblemKey::new(&pa, &fast), ProblemKey::new(&pa, &full));
         assert_eq!(ProblemKey::new(&pa, &fast), ProblemKey::new(&pa, &fast));
+    }
+
+    #[test]
+    fn canonical_hits_are_counted_separately() {
+        let acc = zoo::meta_proto_like_df();
+        let mapper = LomaMapper::new(MapperConfig::fast());
+        let cache = MappingCache::new();
+        // A weight-less pooling tile whose (irrelevant) weight top level
+        // varies across design points: one entry, canonical hits for the
+        // variants.
+        let pool = Layer::new(
+            "pool",
+            OpType::Pooling,
+            LayerDims::conv(64, 64, 28, 28, 2, 2).with_stride(2, 2),
+        );
+        let base = SingleLayerProblem::new(&acc, &pool);
+        let lb = acc.hierarchy().level_id_named("LB_W").unwrap();
+        let moved = base
+            .clone()
+            .with_top_levels(crate::OperandTopLevels::dram(&acc).with_level(Operand::Weight, lb));
+        let a = cache.optimize(&mapper, &base);
+        let b = cache.optimize(&mapper, &moved);
+        assert_eq!(a, b);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.canonical_hits, 1);
+
+        // Padding never reaches the single-layer model either.
+        let conv = Layer::new("c", OpType::Conv, LayerDims::conv(16, 8, 28, 28, 3, 3));
+        let padded = Layer::new(
+            "c",
+            OpType::Conv,
+            LayerDims::conv(16, 8, 28, 28, 3, 3).with_padding(1, 1),
+        );
+        let plain = cache.optimize(&mapper, &SingleLayerProblem::new(&acc, &conv));
+        let with_pad = cache.optimize(&mapper, &SingleLayerProblem::new(&acc, &padded));
+        assert_eq!(plain, with_pad);
+        assert_eq!(cache.stats().canonical_hits, 2);
     }
 
     #[test]

@@ -5,8 +5,7 @@ use crate::allocation::{allocate, OperandAllocation};
 use crate::problem::SingleLayerProblem;
 use crate::temporal::TemporalMapping;
 use defines_arch::{MemoryLevelId, Operand};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use serde::{Deserialize, Serialize, Value};
 
 /// Read/write traffic at one memory level attributable to one operand, in
 /// bytes.
@@ -26,9 +25,32 @@ impl Access {
 }
 
 /// Per-(memory level, operand) access breakdown.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// Internally a `Vec` of entries kept sorted by `(level, operand)` — the
+/// entry count is bounded by `levels × 3`, where binary search plus a short
+/// memmove beats a node-allocating tree map by a wide margin on the cost
+/// model's hot accumulation paths. Iteration order (and therefore every
+/// float-summation order built on it) is identical to the previous
+/// `BTreeMap`-backed representation, as is the serialized form.
+#[derive(Debug, Clone, PartialEq, Default, Deserialize)]
 pub struct AccessBreakdown {
-    map: BTreeMap<(MemoryLevelId, Operand), Access>,
+    map: Vec<((MemoryLevelId, Operand), Access)>,
+}
+
+impl Serialize for AccessBreakdown {
+    fn to_value(&self) -> Value {
+        // Matches the derived (BTreeMap-backed) encoding: a `map` field whose
+        // non-string keys render as an array of `[key, value]` pairs.
+        Value::Object(vec![(
+            "map".to_string(),
+            Value::Array(
+                self.map
+                    .iter()
+                    .map(|(k, a)| Value::Array(vec![k.to_value(), a.to_value()]))
+                    .collect(),
+            ),
+        )])
+    }
 }
 
 impl AccessBreakdown {
@@ -37,30 +59,48 @@ impl AccessBreakdown {
         Self::default()
     }
 
+    /// The slot for a key, inserted zeroed if absent.
+    fn slot(&mut self, key: (MemoryLevelId, Operand)) -> &mut Access {
+        match self.map.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => &mut self.map[i].1,
+            Err(i) => {
+                self.map.insert(i, (key, Access::default()));
+                &mut self.map[i].1
+            }
+        }
+    }
+
     /// Adds reads at a level for an operand.
     pub fn add_reads(&mut self, level: MemoryLevelId, operand: Operand, bytes: f64) {
-        self.map.entry((level, operand)).or_default().reads_bytes += bytes;
+        self.slot((level, operand)).reads_bytes += bytes;
     }
 
     /// Adds writes at a level for an operand.
     pub fn add_writes(&mut self, level: MemoryLevelId, operand: Operand, bytes: f64) {
-        self.map.entry((level, operand)).or_default().writes_bytes += bytes;
+        self.slot((level, operand)).writes_bytes += bytes;
     }
 
     /// The access record for a (level, operand) pair.
     pub fn get(&self, level: MemoryLevelId, operand: Operand) -> Access {
-        self.map.get(&(level, operand)).copied().unwrap_or_default()
+        match self
+            .map
+            .binary_search_by_key(&(level, operand), |&(k, _)| k)
+        {
+            Ok(i) => self.map[i].1,
+            Err(_) => Access::default(),
+        }
     }
 
-    /// Iterates over all `(level, operand, access)` entries.
+    /// Iterates over all `(level, operand, access)` entries in
+    /// `(level, operand)` order.
     pub fn iter(&self) -> impl Iterator<Item = (MemoryLevelId, Operand, Access)> + '_ {
-        self.map.iter().map(|(&(l, o), &a)| (l, o, a))
+        self.map.iter().map(|&((l, o), a)| (l, o, a))
     }
 
     /// Total traffic at a level across operands.
     pub fn level_total(&self, level: MemoryLevelId) -> Access {
         let mut acc = Access::default();
-        for (&(l, _), a) in &self.map {
+        for &((l, _), a) in &self.map {
             if l == level {
                 acc.reads_bytes += a.reads_bytes;
                 acc.writes_bytes += a.writes_bytes;
@@ -72,7 +112,7 @@ impl AccessBreakdown {
     /// Total traffic of one operand across levels.
     pub fn operand_total(&self, operand: Operand) -> Access {
         let mut acc = Access::default();
-        for (&(_, o), a) in &self.map {
+        for &((_, o), a) in &self.map {
             if o == operand {
                 acc.reads_bytes += a.reads_bytes;
                 acc.writes_bytes += a.writes_bytes;
@@ -83,10 +123,20 @@ impl AccessBreakdown {
 
     /// Merges another breakdown into this one.
     pub fn merge(&mut self, other: &AccessBreakdown) {
-        for (k, a) in &other.map {
-            let e = self.map.entry(*k).or_default();
+        for &(k, a) in &other.map {
+            let e = self.slot(k);
             e.reads_bytes += a.reads_bytes;
             e.writes_bytes += a.writes_bytes;
+        }
+    }
+
+    /// Merges `other` scaled by `factor`, without materializing the scaled
+    /// intermediate — bit-identical to `merge(&other.scaled(factor))`.
+    pub fn merge_scaled(&mut self, other: &AccessBreakdown, factor: f64) {
+        for &(k, a) in &other.map {
+            let e = self.slot(k);
+            e.reads_bytes += a.reads_bytes * factor;
+            e.writes_bytes += a.writes_bytes * factor;
         }
     }
 
@@ -95,7 +145,7 @@ impl AccessBreakdown {
         let map = self
             .map
             .iter()
-            .map(|(&k, &a)| {
+            .map(|&(k, a)| {
                 (
                     k,
                     Access {

@@ -42,10 +42,12 @@ pub mod cache;
 pub mod cost;
 pub mod loma;
 pub mod problem;
+pub mod search;
 pub mod temporal;
 
 pub use cache::{MappingCache, ProblemKey};
 pub use cost::{AccessBreakdown, LayerCost, Objective};
 pub use loma::{LomaMapper, MapperConfig};
 pub use problem::{OperandTopLevels, SingleLayerProblem};
+pub use search::SearchStats;
 pub use temporal::TemporalMapping;

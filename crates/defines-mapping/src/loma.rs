@@ -6,9 +6,16 @@
 //! same greedy bottom-up memory allocation; the `loma_lpf_limit`-style
 //! speed/quality knob of the paper's artifact maps to
 //! [`MapperConfig::max_orderings`].
+//!
+//! [`LomaMapper::optimize`] runs the symmetry-pruned branch-and-bound search
+//! of [`crate::search`], which returns a bit-identical [`LayerCost`] while
+//! evaluating only a fraction of the orderings;
+//! [`LomaMapper::optimize_exhaustive`] keeps the plain scan as the reference
+//! implementation the pruned search is tested against.
 
 use crate::cost::{evaluate, LayerCost, Objective};
 use crate::problem::SingleLayerProblem;
+use crate::search::{search, SearchStats};
 use crate::temporal::{candidate_orderings, TemporalMapping};
 use defines_workload::Dim;
 use serde::{Deserialize, Serialize};
@@ -83,8 +90,28 @@ impl LomaMapper {
     /// Finds the best temporal mapping for a problem and returns its cost.
     ///
     /// Ties on the objective are broken by total energy, then latency, so the
-    /// result is deterministic.
+    /// result is deterministic. Runs the symmetry-pruned branch-and-bound
+    /// search, which is guaranteed to return the same cost (and the same
+    /// tie-broken mapping) as [`LomaMapper::optimize_exhaustive`].
     pub fn optimize(&self, problem: &SingleLayerProblem<'_>) -> LayerCost {
+        self.optimize_with_stats(problem).0
+    }
+
+    /// Like [`LomaMapper::optimize`], additionally returning the search
+    /// counters (orderings evaluated / pruned), which the mapping benchmark
+    /// and the perf-smoke CI job track.
+    pub fn optimize_with_stats(
+        &self,
+        problem: &SingleLayerProblem<'_>,
+    ) -> (LayerCost, SearchStats) {
+        search(problem, &self.config)
+    }
+
+    /// The reference implementation of [`LomaMapper::optimize`]: a plain scan
+    /// over every candidate ordering, evaluating each through the full cost
+    /// model. Kept (and exercised by the parity tests and the mapping
+    /// benchmark) to prove the pruned search never changes a result bit.
+    pub fn optimize_exhaustive(&self, problem: &SingleLayerProblem<'_>) -> LayerCost {
         let dram = problem.accelerator.hierarchy().dram_id();
         let max = if self.config.max_orderings == 0 {
             usize::MAX

@@ -127,43 +127,76 @@ impl fmt::Display for TemporalMapping {
     }
 }
 
+/// The temporal loops a problem actually has to order: the dimensions of
+/// [`Dim::SPATIAL_AND_CHANNEL`] whose temporal trip count (after spatial
+/// unrolling) exceeds one, in canonical order, paired with that trip count.
+///
+/// This is the "drop size-1 dims" half of the search-space canonicalization:
+/// trivial loops can sit anywhere in an ordering without changing anything,
+/// so they are excluded from the permutation space outright.
+pub fn active_loops(problem: &SingleLayerProblem<'_>) -> Vec<TemporalLoop> {
+    let unrolling = problem.accelerator.pe_array().unrolling();
+    Dim::SPATIAL_AND_CHANNEL
+        .iter()
+        .copied()
+        .filter_map(|d| {
+            let size = problem.dims.size(d).div_ceil(unrolling.factor(d));
+            (size > 1).then_some(TemporalLoop { dim: d, size })
+        })
+        .collect()
+}
+
 /// Generates candidate loop orderings (innermost-first permutations of the
 /// dimensions that have a non-trivial temporal trip count), capped at
 /// `max_orderings` by deterministic subsampling.
+///
+/// Permutations are enumerated lexicographically with respect to the
+/// canonical dimension order — the same enumeration the pruned search in
+/// [`crate::search`] walks, which is what makes the two agree bit-for-bit on
+/// tie-breaking. Subsampling picks index `i * total / max` for each
+/// `i < max`: exact integer striding, so the sample always contains exactly
+/// `max` *distinct* orderings (the float-stride sampler it replaces could
+/// duplicate or skip entries when `total / max` was not exactly
+/// representable).
 pub fn candidate_orderings(
     problem: &SingleLayerProblem<'_>,
     max_orderings: usize,
 ) -> Vec<Vec<Dim>> {
-    let unrolling = problem.accelerator.pe_array().unrolling();
-    let dims: Vec<Dim> = Dim::SPATIAL_AND_CHANNEL
-        .iter()
-        .copied()
-        .filter(|&d| problem.dims.size(d).div_ceil(unrolling.factor(d)) > 1)
-        .collect();
+    let dims: Vec<Dim> = active_loops(problem).iter().map(|l| l.dim).collect();
     if dims.is_empty() {
         return vec![vec![]];
     }
     let mut all = Vec::new();
-    permute(&mut dims.clone(), 0, &mut all);
+    let mut used = vec![false; dims.len()];
+    let mut current = Vec::with_capacity(dims.len());
+    permute_lex(&dims, &mut used, &mut current, &mut all);
     if all.len() <= max_orderings || max_orderings == 0 {
         return all;
     }
-    // Deterministic subsample: keep an evenly spaced subset.
-    let step = all.len() as f64 / max_orderings as f64;
+    // Deterministic subsample: an evenly spaced subset by integer striding.
+    let total = all.len();
     (0..max_orderings)
-        .map(|i| all[(i as f64 * step) as usize].clone())
+        .map(|i| all[i * total / max_orderings].clone())
         .collect()
 }
 
-fn permute(dims: &mut Vec<Dim>, start: usize, out: &mut Vec<Vec<Dim>>) {
-    if start == dims.len() {
-        out.push(dims.clone());
+/// Lexicographic permutation enumeration: at every position the remaining
+/// dimensions are tried in canonical (input) order. Intermediate recursion
+/// mutates `current` in place; a `Vec` is materialized only at the leaves.
+fn permute_lex(dims: &[Dim], used: &mut [bool], current: &mut Vec<Dim>, out: &mut Vec<Vec<Dim>>) {
+    if current.len() == dims.len() {
+        out.push(current.clone());
         return;
     }
-    for i in start..dims.len() {
-        dims.swap(start, i);
-        permute(dims, start + 1, out);
-        dims.swap(start, i);
+    for i in 0..dims.len() {
+        if used[i] {
+            continue;
+        }
+        used[i] = true;
+        current.push(dims[i]);
+        permute_lex(dims, used, current, out);
+        current.pop();
+        used[i] = false;
     }
 }
 
