@@ -16,6 +16,14 @@
 //! SRAM access energies are produced by an analytical CACTI-like fit
 //! ([`energy`]); see `DESIGN.md` for the substitution rationale.
 //!
+//! Accelerators are also *data*: the [`schema`] module defines a declarative
+//! JSON document format ([`AcceleratorDoc`]) mirroring the workload frontend,
+//! and the [`loader`] turns such documents into validated [`Accelerator`]s.
+//! Round trips are exact — a file-loaded accelerator has the same
+//! [`Accelerator::fingerprint`] as its in-memory twin, so it shares
+//! mapping-cache entries with it. Reference exports of the whole zoo live
+//! under `accelerators/` at the repository root.
+//!
 //! # Example
 //!
 //! ```
@@ -34,12 +42,16 @@
 
 pub mod accelerator;
 pub mod energy;
+pub mod loader;
 pub mod memory;
 pub mod operand;
 pub mod pe_array;
+pub mod schema;
 pub mod zoo;
 
 pub use accelerator::{Accelerator, AcceleratorBuilder, ArchError};
+pub use loader::AcceleratorDocError;
 pub use memory::{MemoryHierarchy, MemoryLevel, MemoryLevelId};
 pub use operand::Operand;
 pub use pe_array::{PeArray, SpatialUnrolling};
+pub use schema::AcceleratorDoc;

@@ -1,0 +1,42 @@
+//! `export-accelerators` — write the built-in architecture zoo as reference
+//! accelerator JSON files.
+//!
+//! ```text
+//! cargo run --release --bin export-accelerators -- [DIR]
+//! ```
+//!
+//! Writes one `<name>.json` per zoo architecture (the ten Table I(a)
+//! case-study designs plus DepFiN-like) into `DIR` (default `accelerators/`).
+//! The files are fully explicit — every energy and bandwidth is written, so
+//! nothing is left to the loader's kind defaults — and loading one back
+//! yields an accelerator identical to its zoo constructor, including its
+//! mapping-cache fingerprint, which `tests/fig13_case_study2.rs` asserts.
+
+use defines_arch::schema;
+use defines_cli::{accelerator_by_name, ACCELERATORS};
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "accelerators".to_string());
+    if let Err(message) = run(&dir) {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run(dir: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    for name in ACCELERATORS {
+        let acc = accelerator_by_name(name)?;
+        let json = schema::to_json_pretty(&acc).map_err(|e| e.to_string())?;
+        let path = format!("{dir}/{name}.json");
+        std::fs::write(&path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "wrote {path} ({} levels, {} MACs)",
+            acc.hierarchy().len(),
+            acc.pe_array().total_macs()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,254 @@
+//! `matrix` — run the DeFiNES case-study grid: every `{accelerator} ×
+//! {workload} × {fuse policy}` cell in one flattened engine run sharing one
+//! mapping cache, with a Fig.-13-style accelerator ranking.
+//!
+//! ```text
+//! cargo run --release --bin matrix -- \
+//!     --accelerators meta-proto-df,tpu-df,edge-tpu-df,ascend-df,tesla-npu-df \
+//!     --workloads fsrcnn,mobilenet-v1 --fuse auto,single \
+//!     --json matrix.json --markdown matrix.md
+//! ```
+//!
+//! Each axis entry is a zoo name or a path to a JSON file (workloads:
+//! `defines_workload::loader`; accelerators: `defines_arch::loader`), so the
+//! paper's five-architecture comparison extends to bring-your-own hardware
+//! without touching Rust. Cells stream as they complete; the ranking table,
+//! the per-cell grid and the engine/cache statistics are printed at the end,
+//! and `--json` / `--markdown` dump the full report.
+
+use clap::{Arg, ArgAction, Command};
+use defines_cli::{
+    parse_fuse_policy, parse_modes, parse_target, resolve_accelerator, resolve_workload, tile_grid,
+    ACCELERATORS, WORKLOADS,
+};
+use defines_core::matrix::{run_matrix, MatrixConfig};
+use defines_core::FusePolicy;
+use defines_engine::EngineConfig;
+use serde::Serialize;
+
+fn main() {
+    let matches = Command::new("matrix")
+        .about(
+            "DeFiNES case-study matrix: evaluates every (accelerator x workload x fuse \
+             policy) cell in one shared-cache engine run and ranks the accelerators.",
+        )
+        .version(env!("CARGO_PKG_VERSION"))
+        .arg(
+            Arg::new("accelerators")
+                .long("accelerators")
+                .value_name("LIST")
+                .default_value("meta-proto-df,tpu-df,edge-tpu-df,ascend-df,tesla-npu-df")
+                .help(format!(
+                    "Comma-separated accelerators (zoo names or JSON paths). Zoo: {}",
+                    ACCELERATORS.join(", ")
+                )),
+        )
+        .arg(
+            Arg::new("workloads")
+                .long("workloads")
+                .value_name("LIST")
+                .default_value("fsrcnn,dmcnn-vd,mccnn,mobilenet-v1,resnet18")
+                .help(format!(
+                    "Comma-separated workloads (zoo names or JSON paths). Zoo: {}",
+                    WORKLOADS.join(", ")
+                )),
+        )
+        .arg(
+            Arg::new("fuse")
+                .long("fuse")
+                .value_name("LIST")
+                .default_value("auto")
+                .help("Comma-separated fuse policies: auto, full, single, search"),
+        )
+        .arg(
+            Arg::new("dfmode")
+                .long("dfmode")
+                .value_name("DIGITS")
+                .default_value("123")
+                .help("Overlap modes: 1 fully-recompute, 2 H-cached V-recompute, 3 fully-cached"),
+        )
+        .arg(Arg::new("tilex").long("tilex").value_name("LIST").help(
+            "Comma-separated tile widths applied to every cell (with --tiley; omit \
+                     both for each workload's default grid)",
+        ))
+        .arg(
+            Arg::new("tiley")
+                .long("tiley")
+                .value_name("LIST")
+                .help("Comma-separated tile heights"),
+        )
+        .arg(
+            Arg::new("target")
+                .long("target")
+                .value_name("NAME")
+                .default_value("energy")
+                .help("Optimization target: energy, latency, edp, dram, activation"),
+        )
+        .arg(
+            Arg::new("threads")
+                .long("threads")
+                .value_name("N")
+                .default_value("0")
+                .help("Outer engine worker threads, one cell per worker (0 = one per core)"),
+        )
+        .arg(
+            Arg::new("full-mapper")
+                .long("full-mapper")
+                .action(ArgAction::SetTrue)
+                .help("Use the exhaustive temporal-mapping search instead of the fast one"),
+        )
+        .arg(
+            Arg::new("json")
+                .long("json")
+                .value_name("PATH")
+                .help("Write the full matrix report (cells, ranking, stats) as JSON"),
+        )
+        .arg(
+            Arg::new("markdown")
+                .long("markdown")
+                .value_name("PATH")
+                .help("Write the report as a markdown document (ranking + cell tables)"),
+        )
+        .arg(
+            Arg::new("quiet")
+                .long("quiet")
+                .short('q')
+                .action(ArgAction::SetTrue)
+                .help("Suppress per-cell streaming output"),
+        )
+        .get_matches();
+
+    if let Err(message) = run(&matches) {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}
+
+/// Splits a comma-separated axis list into trimmed, non-empty entries.
+fn split_axis(flag: &str, input: &str) -> Result<Vec<String>, String> {
+    let entries: Vec<String> = input
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if entries.is_empty() {
+        return Err(format!("{flag} needs at least one entry"));
+    }
+    Ok(entries)
+}
+
+fn run(matches: &clap::ArgMatches) -> Result<(), String> {
+    let mut accelerators = Vec::new();
+    for spec in split_axis("--accelerators", matches.value_of("accelerators").unwrap())? {
+        let (acc, _) = resolve_accelerator(&spec)?;
+        accelerators.push(acc);
+    }
+    let mut workloads = Vec::new();
+    for spec in split_axis("--workloads", matches.value_of("workloads").unwrap())? {
+        let (net, _) = resolve_workload(&spec)?;
+        workloads.push(net);
+    }
+    let mut policies: Vec<FusePolicy> = Vec::new();
+    for spec in split_axis("--fuse", matches.value_of("fuse").unwrap())? {
+        policies.push(parse_fuse_policy(&spec)?);
+    }
+    let modes = parse_modes(matches.value_of("dfmode").unwrap())?;
+    let target = parse_target(matches.value_of("target").unwrap())?;
+    let threads: usize = matches
+        .value_of("threads")
+        .unwrap()
+        .parse()
+        .map_err(|_| "--threads expects a non-negative integer".to_string())?;
+    let quiet = matches.get_flag("quiet");
+
+    // --tilex/--tiley apply the same explicit grid to every cell; omitted,
+    // each workload gets its own default case-study grid inside the runner.
+    let explicit_grid = match (matches.value_of("tilex"), matches.value_of("tiley")) {
+        (None, None) => None,
+        (tilex, tiley) => Some(tile_grid(&workloads[0], tilex, tiley)?),
+    };
+
+    let mut engine = EngineConfig::parallel();
+    if threads > 0 {
+        engine = engine.with_threads(threads);
+    }
+    let config = MatrixConfig {
+        engine,
+        fast_mapper: !matches.get_flag("full-mapper"),
+        ..MatrixConfig::default()
+    };
+
+    let total = accelerators.len() * workloads.len() * policies.len();
+    println!(
+        "matrix: {} accelerators x {} workloads x {} fuse policies = {total} cells | \
+         target: {target} | {} outer threads, shared mapping cache",
+        accelerators.len(),
+        workloads.len(),
+        policies.len(),
+        config.engine.threads,
+    );
+
+    let width = total.to_string().len();
+    let mut done = 0usize;
+    let report = run_matrix(
+        &accelerators,
+        &workloads,
+        &policies,
+        explicit_grid.as_deref(),
+        &modes,
+        target,
+        &config,
+        |cell| {
+            done += 1;
+            if !quiet {
+                println!(
+                    "[{done:>width$}/{total}] {}  {target} {:.4e}  ({} stacks)",
+                    cell.label,
+                    cell.value,
+                    cell.stacks.len(),
+                );
+            }
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!("\nranking ({target}, best strategy per workload):");
+    for entry in &report.ranking {
+        println!(
+            "  {:>2}. {:<22} total {:.4e}  ({:.3}x of best)",
+            entry.rank, entry.accelerator, entry.total_value, entry.ratio_to_best,
+        );
+    }
+    println!(
+        "\nengine          : {} cells in {:.1} ms on {} threads (inner searches: {} design \
+         points)",
+        report.stats.evaluated,
+        report.stats.elapsed.as_secs_f64() * 1e3,
+        report.stats.threads,
+        report.inner_stats.evaluated,
+    );
+    if let Some(cache) = &report.stats.cache {
+        println!(
+            "mapping cache   : {} sub-problems, {} hits / {} misses ({:.1}% hit rate, {} \
+             canonical)",
+            cache.entries,
+            cache.hits,
+            cache.misses,
+            cache.hit_rate() * 100.0,
+            cache.canonical_hits,
+        );
+    }
+
+    if let Some(path) = matches.value_of("json") {
+        std::fs::write(path, report.to_value().to_json_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote JSON report to {path}");
+    }
+    if let Some(path) = matches.value_of("markdown") {
+        std::fs::write(path, report.to_markdown())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote markdown report to {path}");
+    }
+    Ok(())
+}

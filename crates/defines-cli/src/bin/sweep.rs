@@ -16,7 +16,7 @@
 
 use clap::{Arg, ArgAction, Command};
 use defines_cli::{
-    accelerator_by_name, parse_fuse_policy, parse_modes, parse_target, resolve_workload, tile_grid,
+    parse_fuse_policy, parse_modes, parse_target, resolve_accelerator, resolve_workload, tile_grid,
     ACCELERATORS, WORKLOADS,
 };
 use defines_core::{DfCostModel, Explorer, FusePolicy, ScheduleResult};
@@ -44,9 +44,12 @@ fn main() {
         .arg(
             Arg::new("accelerator")
                 .long("accelerator")
-                .value_name("NAME")
+                .value_name("NAME|FILE")
                 .default_value("meta-proto-df")
-                .help(format!("Accelerator: {}", ACCELERATORS.join(", "))),
+                .help(format!(
+                    "Accelerator: {}; or a path to an accelerator JSON file",
+                    ACCELERATORS.join(", ")
+                )),
         )
         .arg(
             Arg::new("dfmode")
@@ -189,7 +192,7 @@ fn print_schedule(net: &Network, schedule: &ScheduleResult, target: defines_core
 
 fn run(matches: &clap::ArgMatches) -> Result<(), String> {
     let (net, workload_source) = resolve_workload(matches.value_of("workload").unwrap())?;
-    let acc = accelerator_by_name(matches.value_of("accelerator").unwrap())?;
+    let (acc, accelerator_source) = resolve_accelerator(matches.value_of("accelerator").unwrap())?;
     let modes = parse_modes(matches.value_of("dfmode").unwrap())?;
     let grid = tile_grid(&net, matches.value_of("tilex"), matches.value_of("tiley"))?;
     let target = parse_target(matches.value_of("target").unwrap())?;
@@ -390,6 +393,10 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
                 Value::Str(workload_source.as_str().to_string()),
             ),
             ("accelerator".into(), Value::Str(acc.name().to_string())),
+            (
+                "accelerator_source".into(),
+                Value::Str(accelerator_source.as_str().to_string()),
+            ),
             ("target".into(), Value::Str(target.to_string())),
             (
                 "fuse".into(),

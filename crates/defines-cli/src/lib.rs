@@ -65,6 +65,34 @@ impl WorkloadSource {
     }
 }
 
+/// Where a resolved accelerator came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceleratorSource {
+    /// One of the built-in zoo architectures ([`ACCELERATORS`]).
+    Builtin,
+    /// An accelerator JSON file.
+    File,
+}
+
+impl AcceleratorSource {
+    /// The source as a short machine-readable string (`"builtin"`/`"file"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AcceleratorSource::Builtin => "builtin",
+            AcceleratorSource::File => "file",
+        }
+    }
+}
+
+/// Whether a CLI spec looks like a file path rather than a zoo name: it ends
+/// in `.json`, contains a path separator, or names an existing file.
+fn looks_like_path(spec: &str) -> bool {
+    spec.ends_with(".json")
+        || spec.contains('/')
+        || spec.contains(std::path::MAIN_SEPARATOR)
+        || std::path::Path::new(spec).is_file()
+}
+
 /// Looks a workload up by its `--workload` name.
 ///
 /// # Errors
@@ -96,11 +124,7 @@ pub fn workload_by_name(name: &str) -> Result<Network, String> {
 /// Returns the loader's error (naming the offending layer where applicable)
 /// for files, or the unknown-name message for zoo lookups.
 pub fn resolve_workload(spec: &str) -> Result<(Network, WorkloadSource), String> {
-    let looks_like_path = spec.ends_with(".json")
-        || spec.contains('/')
-        || spec.contains(std::path::MAIN_SEPARATOR)
-        || std::path::Path::new(spec).is_file();
-    if looks_like_path {
+    if looks_like_path(spec) {
         let net = defines_workload::loader::from_json_file(spec).map_err(|e| e.to_string())?;
         Ok((net, WorkloadSource::File))
     } else {
@@ -127,9 +151,31 @@ pub fn accelerator_by_name(name: &str) -> Result<Accelerator, String> {
         "tesla-npu-df" => Ok(zoo::tesla_npu_like_df()),
         "depfin" => Ok(zoo::depfin_like()),
         other => Err(format!(
-            "unknown accelerator '{other}' (expected one of: {})",
+            "unknown accelerator '{other}' (expected one of: {}; or a path to an \
+             accelerator JSON file)",
             ACCELERATORS.join(", ")
         )),
+    }
+}
+
+/// Resolves the `--accelerator` flag: a built-in zoo name, or a path to an
+/// accelerator JSON file (see `defines_arch::loader`). A spec is treated as a
+/// file when it ends in `.json`, contains a path separator, or names an
+/// existing file — so `--accelerator accelerators/tpu-df.json` and
+/// `--accelerator tpu-df` both work, and a file-loaded twin of a zoo
+/// architecture shares its mapping-cache fingerprint.
+///
+/// # Errors
+///
+/// Returns the loader's error (naming the offending level where applicable)
+/// for files, or the unknown-name message — listing the valid zoo names and
+/// noting that `.json` paths are accepted — for zoo lookups.
+pub fn resolve_accelerator(spec: &str) -> Result<(Accelerator, AcceleratorSource), String> {
+    if looks_like_path(spec) {
+        let acc = defines_arch::loader::from_json_file(spec).map_err(|e| e.to_string())?;
+        Ok((acc, AcceleratorSource::File))
+    } else {
+        accelerator_by_name(spec).map(|acc| (acc, AcceleratorSource::Builtin))
     }
 }
 
@@ -308,7 +354,7 @@ mod tests {
 
         // A JSON file with the exported FSRCNN loads to the same network.
         let json = defines_workload::schema::to_json_pretty(&net).unwrap();
-        let dir = std::env::temp_dir().join("defines-cli-test");
+        let dir = std::env::temp_dir().join(format!("defines-cli-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("fsrcnn.json");
         std::fs::write(&path, json).unwrap();
@@ -322,6 +368,43 @@ mod tests {
         let err = resolve_workload("nope").unwrap_err();
         assert!(err.contains("unknown workload"), "{err}");
         assert_eq!(WorkloadSource::File.as_str(), "file");
+    }
+
+    #[test]
+    fn resolve_accelerator_distinguishes_names_and_paths() {
+        let (acc, source) = resolve_accelerator("meta-proto-df").unwrap();
+        assert_eq!(acc.name(), "Meta-proto-like DF");
+        assert_eq!(source, AcceleratorSource::Builtin);
+
+        // A JSON file with the exported architecture loads to the same
+        // accelerator, including its fingerprint. The path is per-process so
+        // concurrent test runs never read each other's half-written files.
+        let json = defines_arch::schema::to_json_pretty(&acc).unwrap();
+        let dir = std::env::temp_dir().join(format!("defines-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("meta-proto-df.json");
+        std::fs::write(&path, json).unwrap();
+        let (loaded, source) = resolve_accelerator(path.to_str().unwrap()).unwrap();
+        assert_eq!(source, AcceleratorSource::File);
+        assert_eq!(loaded, acc);
+        assert_eq!(loaded.fingerprint(), acc.fingerprint());
+        assert_eq!(AcceleratorSource::File.as_str(), "file");
+
+        // Missing files produce the loader's Io message.
+        let err = resolve_accelerator("missing-dir/nope.json").unwrap_err();
+        assert!(err.contains("cannot read accelerator file"), "{err}");
+    }
+
+    #[test]
+    fn unknown_accelerator_error_lists_names_and_mentions_json() {
+        let err = accelerator_by_name("nope").unwrap_err();
+        for name in ACCELERATORS {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+        assert!(err.contains("JSON"), "{err}");
+        let err = resolve_accelerator("nope").unwrap_err();
+        assert!(err.contains("unknown accelerator"), "{err}");
+        assert!(err.contains("JSON"), "{err}");
     }
 
     #[test]

@@ -163,6 +163,7 @@ pub struct Explorer<'a> {
     model: &'a DfCostModel<'a>,
     engine: SweepEngine,
     fuse: FuseDepth,
+    run_label: Option<String>,
 }
 
 impl<'a> Explorer<'a> {
@@ -174,7 +175,27 @@ impl<'a> Explorer<'a> {
             model,
             engine: SweepEngine::new(EngineConfig::parallel()),
             fuse: FuseDepth::Auto,
+            run_label: None,
         }
+    }
+
+    /// Returns a copy whose engine runs are labelled with the given string
+    /// instead of the workload name. Multi-run drivers — the matrix runner's
+    /// per-cell schedule searches — use this so each run's [`SweepStats`]
+    /// names its (workload, accelerator, policy) cell rather than just the
+    /// workload.
+    pub fn with_run_label(mut self, label: impl Into<String>) -> Self {
+        self.run_label = Some(label.into());
+        self
+    }
+
+    /// The label applied to this explorer's engine runs: the explicit run
+    /// label when one was set ([`Explorer::with_run_label`]), otherwise the
+    /// workload name.
+    fn engine_label(&self, net: &Network) -> String {
+        self.run_label
+            .clone()
+            .unwrap_or_else(|| net.name().to_string())
     }
 
     /// Returns a copy whose sweep entry points ([`Explorer::sweep`],
@@ -319,8 +340,8 @@ impl<'a> Explorer<'a> {
     ) -> Result<Vec<ExplorationResult>, EvaluationError> {
         self.validate_sweep(net)?;
         let points = self.design_points(tile_sizes, modes);
-        let engine =
-            SweepEngine::new(self.engine.config().with_pruning(false)).with_label(net.name());
+        let engine = SweepEngine::new(self.engine.config().with_pruning(false))
+            .with_label(self.engine_label(net));
         let (records, _) = engine.run_collect(
             &points,
             &self.network_evaluator(net),
@@ -381,7 +402,7 @@ impl<'a> Explorer<'a> {
         let acc = self.model.accelerator();
         let points = self.design_points(tile_sizes, modes);
         let bounds = StrategyBounds::new(net, acc, target);
-        let engine = self.engine.clone().with_label(net.name());
+        let engine = self.engine.clone().with_label(self.engine_label(net));
         // Snapshot so the attached cache statistics describe this run, not
         // the cache's lifetime (the model may have served earlier sweeps).
         let cache_before = self.model.mapping_cache().stats();
@@ -417,7 +438,7 @@ impl<'a> Explorer<'a> {
         let acc = self.model.accelerator();
         let points = self.design_points(tile_sizes, modes);
         let bounds = StrategyBounds::new(net, acc, target);
-        let engine = self.engine.clone().with_label(net.name());
+        let engine = self.engine.clone().with_label(self.engine_label(net));
         let (records, _) = engine.run_collect(
             &points,
             &self.network_evaluator(net),
@@ -622,7 +643,7 @@ impl<'a> Explorer<'a> {
             .collect();
 
         let engine = SweepEngine::new(self.engine.config().with_pruning(false))
-            .with_label(net.name())
+            .with_label(self.engine_label(net))
             .with_label_detail(format!("{} stack candidates", stacks.len()));
         // Snapshot so the attached cache statistics describe this run alone.
         let cache_before = self.model.mapping_cache().stats();

@@ -56,6 +56,7 @@ pub mod evaluate;
 pub mod explore;
 pub mod fuse;
 pub mod geometry;
+pub mod matrix;
 pub mod memlevel;
 pub mod result;
 pub mod stack;
@@ -69,6 +70,7 @@ pub use explore::{
     StackChoice,
 };
 pub use fuse::FusePolicy;
+pub use matrix::{run_matrix, CellOutcome, MatrixConfig, MatrixError, MatrixReport, RankingEntry};
 pub use result::{DataClass, NetworkCost, StackCost, TileTypeCost};
 pub use stack::{FuseDepth, Stack};
 pub use strategy::{BetweenStackMemory, DfStrategy, OverlapMode, TileSize};

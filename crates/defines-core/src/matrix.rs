@@ -1,0 +1,955 @@
+//! The case-study matrix runner: every `{accelerator} × {workload} × {fuse
+//! policy}` cell of DeFiNES' §V case study 2 (Fig. 13–16), evaluated in **one
+//! flattened engine run** sharing a single [`MappingCache`].
+//!
+//! The paper's headline multi-accelerator comparison ranks five DF-flexible
+//! architectures across the case-study networks. [`run_matrix`] generalizes
+//! that grid to arbitrary axes: each cell is a full schedule search
+//! ([`Explorer::best_schedule`]) under its fuse policy, the cells fan out
+//! over the outer [`SweepEngine`] work queue (each cell's inner search runs
+//! sequentially, so the machine is never oversubscribed), and every cost
+//! model shares one mapping cache — keyed by accelerator fingerprint, so
+//! repeated sub-problems are searched once per *hardware*, not once per
+//! cell.
+//!
+//! The resulting [`MatrixReport`] carries per-cell energy / latency / EDP,
+//! the per-accelerator best strategy per workload, and a Fig.-13-style
+//! ranking table; [`MatrixReport::to_markdown`] renders it for humans and
+//! the [`Serialize`] impl for machines (the `matrix` CLI writes both).
+
+use crate::evaluate::{DfCostModel, EvaluationError};
+use crate::explore::{Explorer, OptimizeTarget, ScheduleResult};
+use crate::fuse::FusePolicy;
+use crate::stack::partition_into_stacks;
+use crate::strategy::OverlapMode;
+use defines_arch::Accelerator;
+use defines_engine::{EngineConfig, SweepEngine, SweepStats};
+use defines_mapping::MappingCache;
+use defines_workload::Network;
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Errors produced by [`run_matrix`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixError {
+    /// The matrix axes themselves are unusable (an empty axis, duplicate
+    /// names that would make cells ambiguous, …).
+    Config(String),
+    /// A cell failed upfront evaluation validation.
+    Evaluation(EvaluationError),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::Config(msg) => write!(f, "invalid matrix: {msg}"),
+            MatrixError::Evaluation(e) => write!(f, "matrix cell cannot be evaluated: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl From<EvaluationError> for MatrixError {
+    fn from(e: EvaluationError) -> Self {
+        MatrixError::Evaluation(e)
+    }
+}
+
+/// How the matrix executes.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// The outer engine configuration: cells fan out over this work queue
+    /// (each cell's inner schedule search is forced sequential).
+    pub engine: EngineConfig,
+    /// The mapping cache shared by every cell's cost model. Pass a fresh
+    /// cache (the default) or a pre-warmed one from earlier sweeps.
+    pub cache: MappingCache,
+    /// Whether the cells use the fast symmetry-pruned temporal-mapping
+    /// search (default) or the exhaustive reference scan.
+    pub fast_mapper: bool,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> Self {
+        Self {
+            engine: EngineConfig::parallel(),
+            cache: MappingCache::new(),
+            fast_mapper: true,
+        }
+    }
+}
+
+/// One stack of a cell's chosen schedule, with layer names resolved so the
+/// report stands alone without the `Network`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStack {
+    /// The layer names of the stack, in topological order.
+    pub layers: Vec<String>,
+    /// The chosen tile size, rendered (`"(60, 72)"` or `"full feature map"`).
+    pub tile: String,
+    /// The chosen overlap storing mode, rendered.
+    pub mode: String,
+    /// The stack's contribution to the optimization target.
+    pub value: f64,
+}
+
+/// One evaluated `(accelerator, workload, fuse policy)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// The accelerator's name.
+    pub accelerator: String,
+    /// The accelerator's structural fingerprint (the mapping-cache key
+    /// space the cell evaluated in).
+    pub fingerprint: u64,
+    /// The workload's name.
+    pub workload: String,
+    /// The fuse policy the cell's schedule was searched under.
+    pub policy: FusePolicy,
+    /// The policy's unique axis label: its CLI keyword, suffixed `#2`, `#3`,
+    /// … when several distinct configurations share a keyword (two
+    /// different [`FusePolicy::Search`] setups, say).
+    pub fuse: String,
+    /// The cell's run label (`"workload @ accelerator [policy]"`), also
+    /// carried on the inner engine run's [`SweepStats`].
+    pub label: String,
+    /// The schedule's value under the matrix's optimization target.
+    pub value: f64,
+    /// Total energy of the chosen schedule, in pJ.
+    pub energy_pj: f64,
+    /// Total latency of the chosen schedule, in cycles.
+    pub latency_cycles: f64,
+    /// Energy-delay product of the chosen schedule (pJ · cycles).
+    pub edp: f64,
+    /// Number of candidate stacks that entered the cell's schedule search.
+    pub candidates: usize,
+    /// The chosen stack partition with its per-stack choices.
+    pub stacks: Vec<CellStack>,
+    /// Statistics of the cell's inner engine run.
+    pub stats: SweepStats,
+}
+
+/// One row of the Fig.-13-style accelerator ranking: accelerators ordered by
+/// the sum, over workloads, of their best cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankingEntry {
+    /// 1-based rank (1 = best).
+    pub rank: usize,
+    /// The accelerator's name.
+    pub accelerator: String,
+    /// Sum over workloads of the accelerator's best cell value.
+    pub total_value: f64,
+    /// `total_value` relative to the rank-1 accelerator (1.0 for the best).
+    pub ratio_to_best: f64,
+    /// Per workload (in axis order), the index into
+    /// [`MatrixReport::cells`] of this accelerator's best cell.
+    pub best_cells: Vec<usize>,
+}
+
+/// The full result of a matrix run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixReport {
+    /// The optimization target every cell minimized.
+    pub target: OptimizeTarget,
+    /// The accelerator axis, in submission order.
+    pub accelerators: Vec<String>,
+    /// The workload axis, in submission order.
+    pub workloads: Vec<String>,
+    /// The fuse-policy axis (CLI keywords), in submission order.
+    pub policies: Vec<String>,
+    /// Every cell, accelerator-major (then workload, then policy) — exactly
+    /// the submission order of the flattened engine run.
+    pub cells: Vec<CellOutcome>,
+    /// The accelerator ranking, best first.
+    pub ranking: Vec<RankingEntry>,
+    /// Statistics of the single flattened outer engine run (one point per
+    /// cell), with the shared mapping cache's whole-run snapshot attached.
+    pub stats: SweepStats,
+    /// The merged statistics of all inner per-cell schedule searches: how
+    /// many design points the matrix evaluated in total.
+    pub inner_stats: SweepStats,
+}
+
+impl MatrixReport {
+    /// Looks a cell up by its axis names (`policy` is the unique axis label
+    /// listed in [`MatrixReport::policies`]).
+    pub fn cell(&self, accelerator: &str, workload: &str, policy: &str) -> Option<&CellOutcome> {
+        self.cells
+            .iter()
+            .find(|c| c.accelerator == accelerator && c.workload == workload && c.fuse == policy)
+    }
+
+    /// Renders the report as a markdown document: a Fig.-13-style ranking
+    /// table (one row per accelerator), the per-cell grid, and the engine /
+    /// cache statistics.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# DeFiNES case-study matrix\n\n");
+        out.push_str(&format!(
+            "- target: **{}**\n- grid: {} accelerators × {} workloads × {} fuse policies \
+             = {} cells\n",
+            self.target,
+            self.accelerators.len(),
+            self.workloads.len(),
+            self.policies.len(),
+            self.cells.len(),
+        ));
+        out.push_str(&format!(
+            "- outer engine: {} cells evaluated in {:.1} ms on {} threads (one flattened \
+             run); inner searches evaluated {} design points\n",
+            self.stats.evaluated,
+            self.stats.elapsed.as_secs_f64() * 1e3,
+            self.stats.threads,
+            self.inner_stats.evaluated,
+        ));
+        if let Some(cache) = &self.stats.cache {
+            out.push_str(&format!(
+                "- shared mapping cache: {} sub-problems, {} hits / {} misses \
+                 ({:.1}% hit rate, {} canonical)\n",
+                cache.entries,
+                cache.hits,
+                cache.misses,
+                cache.hit_rate() * 100.0,
+                cache.canonical_hits,
+            ));
+        }
+
+        out.push_str(&format!(
+            "\n## Ranking (best strategy per workload, Fig. 13 style)\n\n\
+             | rank | accelerator | total {} | vs best | best strategy per workload |\n\
+             |---|---|---|---|---|\n",
+            self.target
+        ));
+        for entry in &self.ranking {
+            let best: Vec<String> = entry
+                .best_cells
+                .iter()
+                .map(|&idx| {
+                    let cell = &self.cells[idx];
+                    let detail = if cell.stacks.len() == 1 {
+                        format!("tile {} {}", cell.stacks[0].tile, cell.stacks[0].mode)
+                    } else {
+                        format!("{} stacks", cell.stacks.len())
+                    };
+                    format!("{}: {} ({detail})", cell.workload, cell.fuse)
+                })
+                .collect();
+            // Three decimals: case-study gaps are often under 1%, and a
+            // rank-2 row printed as "1.00x" would read as tied with rank 1.
+            out.push_str(&format!(
+                "| {} | {} | {:.4e} | {:.3}x | {} |\n",
+                entry.rank,
+                entry.accelerator,
+                entry.total_value,
+                entry.ratio_to_best,
+                best.join("; "),
+            ));
+        }
+
+        out.push_str(&format!(
+            "\n## Cells\n\n\
+             | accelerator | workload | fuse | energy (mJ) | latency (Mcycles) | \
+             EDP (pJ·cycles) | {} |\n|---|---|---|---|---|---|---|\n",
+            self.target
+        ));
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.3} | {:.3} | {:.4e} | {:.4e} |\n",
+                cell.accelerator,
+                cell.workload,
+                cell.fuse,
+                cell.energy_pj / 1e9,
+                cell.latency_cycles / 1e6,
+                cell.edp,
+                cell.value,
+            ));
+        }
+        out
+    }
+}
+
+impl Serialize for CellStack {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "layers".into(),
+                Value::Array(self.layers.iter().map(|l| Value::Str(l.clone())).collect()),
+            ),
+            ("tile".into(), Value::Str(self.tile.clone())),
+            ("mode".into(), Value::Str(self.mode.clone())),
+            ("value".into(), Value::F64(self.value)),
+        ])
+    }
+}
+
+impl Serialize for CellOutcome {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("accelerator".into(), Value::Str(self.accelerator.clone())),
+            ("fingerprint".into(), Value::U64(self.fingerprint)),
+            ("workload".into(), Value::Str(self.workload.clone())),
+            ("fuse".into(), Value::Str(self.fuse.clone())),
+            // The full policy (Display form carries the Search parameters),
+            // so report consumers can tell which configuration a label like
+            // "search#2" stands for.
+            ("policy".into(), Value::Str(self.policy.to_string())),
+            ("label".into(), Value::Str(self.label.clone())),
+            ("value".into(), Value::F64(self.value)),
+            ("energy_pj".into(), Value::F64(self.energy_pj)),
+            ("latency_cycles".into(), Value::F64(self.latency_cycles)),
+            ("edp".into(), Value::F64(self.edp)),
+            ("candidates".into(), Value::U64(self.candidates as u64)),
+            (
+                "stacks".into(),
+                Value::Array(self.stacks.iter().map(Serialize::to_value).collect()),
+            ),
+            ("stats".into(), self.stats.to_value()),
+        ])
+    }
+}
+
+impl Serialize for RankingEntry {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("rank".into(), Value::U64(self.rank as u64)),
+            ("accelerator".into(), Value::Str(self.accelerator.clone())),
+            ("total_value".into(), Value::F64(self.total_value)),
+            ("ratio_to_best".into(), Value::F64(self.ratio_to_best)),
+            (
+                "best_cells".into(),
+                Value::Array(
+                    self.best_cells
+                        .iter()
+                        .map(|&i| Value::U64(i as u64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Serialize for MatrixReport {
+    fn to_value(&self) -> Value {
+        let names =
+            |items: &[String]| Value::Array(items.iter().map(|n| Value::Str(n.clone())).collect());
+        Value::Object(vec![
+            ("target".into(), Value::Str(self.target.to_string())),
+            ("accelerators".into(), names(&self.accelerators)),
+            ("workloads".into(), names(&self.workloads)),
+            ("policies".into(), names(&self.policies)),
+            (
+                "cells".into(),
+                Value::Array(self.cells.iter().map(Serialize::to_value).collect()),
+            ),
+            (
+                "ranking".into(),
+                Value::Array(self.ranking.iter().map(Serialize::to_value).collect()),
+            ),
+            ("stats".into(), self.stats.to_value()),
+            ("inner_stats".into(), self.inner_stats.to_value()),
+        ])
+    }
+}
+
+/// Checks an axis for emptiness and ambiguous (duplicate) names.
+fn validate_axis(kind: &str, names: &[String]) -> Result<(), MatrixError> {
+    if names.is_empty() {
+        return Err(MatrixError::Config(format!("the {kind} axis is empty")));
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for name in names {
+        if !seen.insert(name.as_str()) {
+            return Err(MatrixError::Config(format!(
+                "duplicate {kind} '{name}': cells are keyed by name, so each {kind} \
+                 may appear only once"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full `{accelerators} × {workloads} × {policies}` grid as one
+/// flattened engine run sharing one mapping cache, streaming each finished
+/// cell to `on_cell` in completion order.
+///
+/// * `tile_grid` — the tile sizes every cell's schedule search draws from;
+///   `None` uses each workload's default case-study grid
+///   ([`Explorer::default_tile_grid`]).
+/// * `modes` — the overlap storing modes searched per stack.
+/// * `target` — the scalar objective every cell minimizes, and the ranking
+///   metric.
+///
+/// Cells are submitted accelerator-major (then workload, then policy), and
+/// [`MatrixReport::cells`] preserves that order regardless of completion
+/// order or thread count.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::Config`] for empty or ambiguous axes and
+/// [`MatrixError::Evaluation`] when a cell's workload/partition fails
+/// upfront validation (the flattened run itself then never starts).
+#[allow(clippy::too_many_arguments)]
+pub fn run_matrix(
+    accelerators: &[Accelerator],
+    workloads: &[Network],
+    policies: &[FusePolicy],
+    tile_grid: Option<&[(u64, u64)]>,
+    modes: &[OverlapMode],
+    target: OptimizeTarget,
+    config: &MatrixConfig,
+    mut on_cell: impl FnMut(&CellOutcome),
+) -> Result<MatrixReport, MatrixError> {
+    let acc_names: Vec<String> = accelerators.iter().map(|a| a.name().to_string()).collect();
+    let wl_names: Vec<String> = workloads.iter().map(|w| w.name().to_string()).collect();
+    // Fuse-policy axis labels: the CLI keyword, suffixed `#2`, `#3`, … when
+    // several *distinct* configurations share a keyword (e.g. two Search
+    // setups with different spans). Truly identical policies would make
+    // cells ambiguous and are rejected like any duplicate axis entry.
+    let mut policy_names: Vec<String> = Vec::with_capacity(policies.len());
+    for (i, policy) in policies.iter().enumerate() {
+        if policies[..i].contains(policy) {
+            return Err(MatrixError::Config(format!(
+                "duplicate fuse policy '{}': cells are keyed by name, so each fuse policy \
+                 may appear only once",
+                policy.keyword()
+            )));
+        }
+        let same_keyword = policies[..i]
+            .iter()
+            .filter(|p| p.keyword() == policy.keyword())
+            .count();
+        policy_names.push(if same_keyword == 0 {
+            policy.keyword().to_string()
+        } else {
+            format!("{}#{}", policy.keyword(), same_keyword + 1)
+        });
+    }
+    validate_axis("accelerator", &acc_names)?;
+    validate_axis("workload", &wl_names)?;
+    validate_axis("fuse policy", &policy_names)?;
+    if modes.is_empty() {
+        return Err(MatrixError::Config(
+            "no overlap storing modes to search".into(),
+        ));
+    }
+
+    // One cost model per accelerator, all sharing the matrix's mapping
+    // cache. The cache key includes the accelerator fingerprint, so sharing
+    // across hardware is sound — and a file-loaded twin of a builtin
+    // accelerator hits the same entries.
+    let models: Vec<DfCostModel<'_>> = accelerators
+        .iter()
+        .map(|acc| {
+            let model = DfCostModel::new(acc).with_shared_cache(config.cache.clone());
+            if config.fast_mapper {
+                model.with_fast_mapper()
+            } else {
+                model
+            }
+        })
+        .collect();
+
+    // Per-workload tile grids: the caller's grid, or the default.
+    let grids: Vec<Vec<(u64, u64)>> = workloads
+        .iter()
+        .map(|net| match tile_grid {
+            Some(grid) => grid.to_vec(),
+            None => Explorer::default_tile_grid(net),
+        })
+        .collect();
+
+    // Upfront validation: every error a cell evaluation could produce is
+    // surfaced here, so the engine's evaluate closure is infallible.
+    for net in workloads {
+        net.validate().map_err(EvaluationError::Network)?;
+    }
+    for acc in accelerators {
+        for net in workloads {
+            for policy in policies {
+                if let Some(fuse) = policy.fixed_fuse_depth() {
+                    let stacks = partition_into_stacks(net, acc, &fuse);
+                    crate::evaluate::validate_stacks(net, &stacks)?;
+                }
+            }
+        }
+    }
+
+    // The flattened cell list, accelerator-major.
+    let mut points: Vec<(usize, usize, usize)> =
+        Vec::with_capacity(accelerators.len() * workloads.len() * policies.len());
+    for ai in 0..accelerators.len() {
+        for wi in 0..workloads.len() {
+            for pi in 0..policies.len() {
+                points.push((ai, wi, pi));
+            }
+        }
+    }
+
+    let cell_label = |&(ai, wi, pi): &(usize, usize, usize)| {
+        format!(
+            "{} @ {} [{}]",
+            wl_names[wi], acc_names[ai], policy_names[pi]
+        )
+    };
+
+    let engine = SweepEngine::new(config.engine.with_pruning(false))
+        .with_label("matrix")
+        .with_label_detail(format!("{} cells", points.len()));
+    let cache_before = config.cache.stats();
+
+    let evaluate = |point: &(usize, usize, usize)| -> ScheduleResult {
+        let &(ai, wi, pi) = point;
+        // Each cell runs its inner schedule search sequentially: the outer
+        // engine already keeps every core busy with one cell per worker.
+        Explorer::new(&models[ai])
+            .with_engine_config(EngineConfig::sequential())
+            .with_run_label(cell_label(point))
+            .best_schedule(&workloads[wi], &grids[wi], modes, target, &policies[pi])
+            .expect("matrix cells are validated before the engine run")
+    };
+    let objective = |&(ai, _, _): &(usize, usize, usize), schedule: &ScheduleResult| {
+        schedule.value(target, &accelerators[ai])
+    };
+
+    let mut slots: Vec<Option<CellOutcome>> = (0..points.len()).map(|_| None).collect();
+    let stats = engine.run(
+        &points,
+        &evaluate,
+        &objective,
+        None::<&fn(&(usize, usize, usize)) -> f64>,
+        |record| {
+            let (ai, wi, pi) = record.point;
+            let value = record.value().expect("matrix runs never prune");
+            let schedule = match record.outcome {
+                defines_engine::Outcome::Evaluated { cost, .. } => cost,
+                defines_engine::Outcome::Pruned { .. } => {
+                    unreachable!("matrix runs never prune")
+                }
+            };
+            let net = &workloads[wi];
+            // The inner run attached a cache delta measured over its own
+            // time window — but the cache is shared by concurrently running
+            // cells, so that window also counts *their* traffic. Only the
+            // whole-matrix snapshot on the outer stats is meaningful; drop
+            // the per-cell one rather than report non-deterministic numbers.
+            let mut inner = schedule.stats;
+            inner.cache = None;
+            let stacks = schedule
+                .choices
+                .iter()
+                .map(|choice| CellStack {
+                    layers: choice
+                        .stack
+                        .layers
+                        .iter()
+                        .map(|&l| net.layer(l).name.clone())
+                        .collect(),
+                    tile: choice.tile.to_string(),
+                    mode: choice.mode.to_string(),
+                    value: choice.value,
+                })
+                .collect();
+            let outcome = CellOutcome {
+                accelerator: acc_names[ai].clone(),
+                fingerprint: accelerators[ai].fingerprint(),
+                workload: wl_names[wi].clone(),
+                policy: policies[pi].clone(),
+                fuse: policy_names[pi].clone(),
+                label: cell_label(&record.point),
+                value,
+                energy_pj: schedule.cost.energy_pj,
+                latency_cycles: schedule.cost.latency_cycles,
+                edp: schedule.cost.edp(),
+                candidates: schedule.candidates,
+                stacks,
+                stats: inner,
+            };
+            on_cell(&outcome);
+            slots[record.index] = Some(outcome);
+        },
+    );
+    let stats = stats.with_cache(config.cache.stats().since(&cache_before));
+
+    let cells: Vec<CellOutcome> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every submitted cell produces exactly one record"))
+        .collect();
+    let inner_stats = SweepStats::merged("matrix cells", cells.iter().map(|c| &c.stats));
+
+    // Fig.-13-style ranking: per accelerator, the best policy per workload;
+    // accelerators ordered by the sum of those best values.
+    let cell_index =
+        |ai: usize, wi: usize, pi: usize| (ai * workloads.len() + wi) * policies.len() + pi;
+    let mut totals: Vec<(usize, f64, Vec<usize>)> = (0..accelerators.len())
+        .map(|ai| {
+            let mut total = 0.0;
+            let mut best_cells = Vec::with_capacity(workloads.len());
+            for wi in 0..workloads.len() {
+                let best = (0..policies.len())
+                    .map(|pi| cell_index(ai, wi, pi))
+                    .min_by(|&a, &b| cells[a].value.total_cmp(&cells[b].value))
+                    .expect("at least one policy per cell");
+                total += cells[best].value;
+                best_cells.push(best);
+            }
+            (ai, total, best_cells)
+        })
+        .collect();
+    totals.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let best_total = totals.first().map(|t| t.1).unwrap_or(0.0);
+    let ranking = totals
+        .into_iter()
+        .enumerate()
+        .map(|(i, (ai, total, best_cells))| RankingEntry {
+            rank: i + 1,
+            accelerator: acc_names[ai].clone(),
+            total_value: total,
+            ratio_to_best: if best_total > 0.0 {
+                total / best_total
+            } else {
+                1.0
+            },
+            best_cells,
+        })
+        .collect();
+
+    Ok(MatrixReport {
+        target,
+        accelerators: acc_names,
+        workloads: wl_names,
+        policies: policy_names,
+        cells,
+        ranking,
+        stats,
+        inner_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defines_arch::zoo;
+    use defines_workload::{Layer, LayerDims, OpType};
+
+    fn tiny_net(name: &str) -> Network {
+        let mut net = Network::new(name);
+        let a = net
+            .add_layer(
+                Layer::new("a", OpType::Conv, LayerDims::conv(8, 3, 32, 32, 3, 3)),
+                &[],
+            )
+            .unwrap();
+        net.add_layer(
+            Layer::new("b", OpType::Conv, LayerDims::conv(8, 8, 30, 30, 3, 3)),
+            &[a],
+        )
+        .unwrap();
+        net
+    }
+
+    #[test]
+    fn matrix_names_every_cell_in_one_run() {
+        let accelerators = [zoo::meta_proto_like_df(), zoo::tpu_like_df()];
+        let workloads = [tiny_net("tiny")];
+        let policies = [FusePolicy::Auto, FusePolicy::SingleLayerStacks];
+        let mut streamed = 0;
+        let report = run_matrix(
+            &accelerators,
+            &workloads,
+            &policies,
+            Some(&[(8, 8), (30, 30)]),
+            &OverlapMode::ALL,
+            OptimizeTarget::Energy,
+            &MatrixConfig::default(),
+            |_| streamed += 1,
+        )
+        .unwrap();
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(streamed, 4);
+        // The outer run is one flattened engine run: one point per cell.
+        assert_eq!(report.stats.points, 4);
+        assert_eq!(report.stats.evaluated, 4);
+        assert!(
+            report.stats.label.starts_with("matrix"),
+            "{}",
+            report.stats.label
+        );
+        // Every cell is named and retrievable by its axis names.
+        for acc in ["Meta-proto-like DF", "TPU-like DF"] {
+            for policy in ["auto", "single"] {
+                let cell = report.cell(acc, "tiny", policy).unwrap();
+                assert!(cell.energy_pj > 0.0);
+                assert!(cell.latency_cycles > 0.0);
+                assert!((cell.edp - cell.energy_pj * cell.latency_cycles).abs() < 1e-3);
+                assert!(!cell.stacks.is_empty());
+                assert_eq!(cell.label, format!("tiny @ {acc} [{policy}]"));
+                // The inner engine run carries the cell label (plus the
+                // schedule search's own candidate-count detail).
+                assert!(
+                    cell.stats.label.starts_with(&cell.label),
+                    "{}",
+                    cell.stats.label
+                );
+            }
+        }
+        // Submission order is accelerator-major.
+        assert_eq!(report.cells[0].accelerator, "Meta-proto-like DF");
+        assert_eq!(report.cells[0].policy.keyword(), "auto");
+        assert_eq!(report.cells[1].policy.keyword(), "single");
+        assert_eq!(report.cells[2].accelerator, "TPU-like DF");
+        // The shared cache served the run.
+        let cache = report.stats.cache.as_ref().unwrap();
+        assert!(cache.hits > 0, "cells must share the mapping cache");
+        // Inner stats aggregate the per-cell runs.
+        assert_eq!(
+            report.inner_stats.points,
+            report.cells.iter().map(|c| c.stats.points).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn ranking_orders_accelerators_by_best_policy_total() {
+        let accelerators = [zoo::meta_proto_like_df(), zoo::tpu_like()];
+        let workloads = [tiny_net("tiny")];
+        let policies = [FusePolicy::Auto];
+        let report = run_matrix(
+            &accelerators,
+            &workloads,
+            &policies,
+            Some(&[(8, 8)]),
+            &[OverlapMode::FullyCached],
+            OptimizeTarget::Energy,
+            &MatrixConfig::default(),
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(report.ranking.len(), 2);
+        assert_eq!(report.ranking[0].rank, 1);
+        assert!((report.ranking[0].ratio_to_best - 1.0).abs() < 1e-12);
+        assert!(report.ranking[1].total_value >= report.ranking[0].total_value);
+        assert!(report.ranking[1].ratio_to_best >= 1.0);
+        // Each ranking row points at one best cell per workload, and that
+        // cell belongs to the ranked accelerator.
+        for entry in &report.ranking {
+            assert_eq!(entry.best_cells.len(), 1);
+            assert_eq!(
+                report.cells[entry.best_cells[0]].accelerator,
+                entry.accelerator
+            );
+        }
+    }
+
+    #[test]
+    fn markdown_has_a_ranking_row_per_accelerator_and_json_names_cells() {
+        let accelerators = [zoo::meta_proto_like_df(), zoo::edge_tpu_like_df()];
+        let workloads = [tiny_net("tiny")];
+        let report = run_matrix(
+            &accelerators,
+            &workloads,
+            &[FusePolicy::Auto],
+            Some(&[(8, 8)]),
+            &[OverlapMode::FullyCached],
+            OptimizeTarget::Energy,
+            &MatrixConfig::default(),
+            |_| {},
+        )
+        .unwrap();
+        let md = report.to_markdown();
+        assert!(md.contains("| 1 | "), "{md}");
+        assert!(md.contains("| 2 | "), "{md}");
+        assert!(md.contains("Meta-proto-like DF"), "{md}");
+        assert!(md.contains("Edge-TPU-like DF"), "{md}");
+        assert!(md.contains("## Ranking"), "{md}");
+        assert!(md.contains("## Cells"), "{md}");
+
+        let json = report.to_value().to_json();
+        assert!(
+            json.contains("\"accelerator\":\"Meta-proto-like DF\""),
+            "{json}"
+        );
+        assert!(json.contains("\"workload\":\"tiny\""), "{json}");
+        assert!(json.contains("\"fuse\":\"auto\""), "{json}");
+        assert!(json.contains("\"ranking\""), "{json}");
+    }
+
+    #[test]
+    fn matrix_result_is_thread_count_independent() {
+        let accelerators = [zoo::meta_proto_like_df(), zoo::ascend_like_df()];
+        let workloads = [tiny_net("tiny")];
+        let policies = [FusePolicy::Auto, FusePolicy::FullNetwork];
+        let run = |threads: usize| {
+            let config = MatrixConfig {
+                engine: EngineConfig::parallel().with_threads(threads),
+                ..MatrixConfig::default()
+            };
+            run_matrix(
+                &accelerators,
+                &workloads,
+                &policies,
+                Some(&[(8, 8), (15, 15)]),
+                &OverlapMode::ALL,
+                OptimizeTarget::Energy,
+                &config,
+                |_| {},
+            )
+            .unwrap()
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        let values = |r: &MatrixReport| -> Vec<f64> { r.cells.iter().map(|c| c.value).collect() };
+        assert_eq!(values(&sequential), values(&parallel));
+        assert_eq!(
+            sequential
+                .ranking
+                .iter()
+                .map(|e| e.accelerator.clone())
+                .collect::<Vec<_>>(),
+            parallel
+                .ranking
+                .iter()
+                .map(|e| e.accelerator.clone())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn distinct_search_configurations_get_unique_axis_labels() {
+        // Two different Search setups share the "search" keyword; the axis
+        // labels disambiguate them so every cell stays addressable.
+        let accelerators = [zoo::meta_proto_like_df()];
+        let workloads = [tiny_net("tiny")];
+        let policies = [
+            FusePolicy::search(),
+            FusePolicy::Search {
+                max_span: 1,
+                weight_budget_factor: 0.5,
+            },
+        ];
+        let report = run_matrix(
+            &accelerators,
+            &workloads,
+            &policies,
+            Some(&[(8, 8)]),
+            &[OverlapMode::FullyCached],
+            OptimizeTarget::Energy,
+            &MatrixConfig::default(),
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(report.policies, vec!["search", "search#2"]);
+        assert!(report
+            .cell("Meta-proto-like DF", "tiny", "search")
+            .is_some());
+        assert!(report
+            .cell("Meta-proto-like DF", "tiny", "search#2")
+            .is_some());
+        let json = report.to_value().to_json();
+        assert!(json.contains("\"fuse\":\"search#2\""), "{json}");
+    }
+
+    #[test]
+    fn empty_or_duplicate_axes_are_rejected() {
+        let acc = [zoo::meta_proto_like_df()];
+        let wl = [tiny_net("tiny")];
+        let err = run_matrix(
+            &[],
+            &wl,
+            &[FusePolicy::Auto],
+            None,
+            &OverlapMode::ALL,
+            OptimizeTarget::Energy,
+            &MatrixConfig::default(),
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("accelerator axis is empty"),
+            "{err}"
+        );
+        let err = run_matrix(
+            &[zoo::meta_proto_like_df(), zoo::meta_proto_like_df()],
+            &wl,
+            &[FusePolicy::Auto],
+            None,
+            &OverlapMode::ALL,
+            OptimizeTarget::Energy,
+            &MatrixConfig::default(),
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate accelerator"), "{err}");
+        let err = run_matrix(
+            &acc,
+            &wl,
+            &[FusePolicy::Auto, FusePolicy::Auto],
+            None,
+            &OverlapMode::ALL,
+            OptimizeTarget::Energy,
+            &MatrixConfig::default(),
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate fuse policy"), "{err}");
+        let err = run_matrix(
+            &acc,
+            &wl,
+            &[FusePolicy::Auto],
+            None,
+            &[],
+            OptimizeTarget::Energy,
+            &MatrixConfig::default(),
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("modes"), "{err}");
+    }
+
+    #[test]
+    fn file_loaded_accelerators_share_the_cache_with_builtins() {
+        // Two matrix runs against one shared cache: the first evaluates the
+        // builtin accelerator (populating the cache), the second its
+        // JSON-round-tripped twin. The twin has the same fingerprint, so
+        // its run must be answered entirely from the cache — zero new
+        // misses — and produce the identical cell value.
+        let builtin = zoo::meta_proto_like_df();
+        let json = defines_arch::schema::to_json_pretty(&builtin).unwrap();
+        let loaded = defines_arch::loader::from_json_str(&json).unwrap();
+        assert_eq!(loaded.fingerprint(), builtin.fingerprint());
+
+        let config = MatrixConfig::default();
+        let workloads = [tiny_net("tiny")];
+        let report = run_matrix(
+            &[builtin],
+            &workloads,
+            &[FusePolicy::Auto],
+            Some(&[(8, 8)]),
+            &[OverlapMode::FullyCached],
+            OptimizeTarget::Energy,
+            &config,
+            |_| {},
+        )
+        .unwrap();
+        let misses_first = config.cache.stats().misses;
+        assert!(misses_first > 0);
+
+        // Evaluate the file-loaded twin against the same cache: everything
+        // is answered from the shared cache (fingerprint-correct sharing).
+        let report2 = run_matrix(
+            &[loaded],
+            &workloads,
+            &[FusePolicy::Auto],
+            Some(&[(8, 8)]),
+            &[OverlapMode::FullyCached],
+            OptimizeTarget::Energy,
+            &config,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(
+            config.cache.stats().misses,
+            misses_first,
+            "the file-loaded twin must be answered entirely from the shared cache"
+        );
+        assert_eq!(report.cells[0].value, report2.cells[0].value);
+    }
+}

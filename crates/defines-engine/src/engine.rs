@@ -179,6 +179,39 @@ impl SweepStats {
             0.0
         }
     }
+
+    /// Aggregates several runs' statistics under one label: point, evaluated
+    /// and pruned counts are summed, `elapsed` is the total busy time across
+    /// the runs (they may have executed concurrently, so this is work, not
+    /// wall clock), and `threads` is the widest run. Cache snapshots are not
+    /// merged — runs sharing one cache would double-count; attach a single
+    /// whole-matrix snapshot via [`SweepStats::with_cache`] instead.
+    ///
+    /// The matrix runner uses this to report how many *design points* its
+    /// per-cell schedule searches evaluated in total, next to the outer
+    /// flattened run's per-cell statistics.
+    pub fn merged<'a>(
+        label: impl Into<String>,
+        runs: impl IntoIterator<Item = &'a SweepStats>,
+    ) -> SweepStats {
+        let mut out = SweepStats {
+            label: label.into(),
+            points: 0,
+            evaluated: 0,
+            pruned: 0,
+            threads: 0,
+            elapsed: Duration::ZERO,
+            cache: None,
+        };
+        for run in runs {
+            out.points += run.points;
+            out.evaluated += run.evaluated;
+            out.pruned += run.pruned;
+            out.threads = out.threads.max(run.threads);
+            out.elapsed += run.elapsed;
+        }
+        out
+    }
 }
 
 impl Serialize for SweepStats {
@@ -606,6 +639,39 @@ mod tests {
         assert_eq!(counter.load(Ordering::Relaxed), 100);
         assert_eq!(records.len(), 100);
         assert_eq!(stats.evaluated, 100);
+    }
+
+    #[test]
+    fn merged_stats_sum_counts_and_keep_widest_thread_count() {
+        let a = SweepStats {
+            label: "a".into(),
+            points: 4,
+            evaluated: 3,
+            pruned: 1,
+            threads: 2,
+            elapsed: Duration::from_millis(10),
+            cache: None,
+        };
+        let b = SweepStats {
+            label: "b".into(),
+            points: 6,
+            evaluated: 6,
+            pruned: 0,
+            threads: 1,
+            elapsed: Duration::from_millis(5),
+            cache: None,
+        };
+        let merged = SweepStats::merged("both", [&a, &b]);
+        assert_eq!(merged.label, "both");
+        assert_eq!(merged.points, 10);
+        assert_eq!(merged.evaluated, 9);
+        assert_eq!(merged.pruned, 1);
+        assert_eq!(merged.threads, 2);
+        assert_eq!(merged.elapsed, Duration::from_millis(15));
+        assert!(merged.cache.is_none());
+        let empty = SweepStats::merged("none", []);
+        assert_eq!(empty.points, 0);
+        assert_eq!(empty.elapsed, Duration::ZERO);
     }
 
     #[test]
