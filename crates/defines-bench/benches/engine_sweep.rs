@@ -7,7 +7,7 @@
 //! speedups, seeding the benchmark trajectory of the project.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use defines_bench::{fig12_tile_grid, write_json, ExperimentContext};
+use defines_bench::{fig12_tile_grid, write_json, BenchHeader, ExperimentContext};
 use defines_core::{DfCostModel, Explorer, OverlapMode};
 use defines_engine::EngineConfig;
 use defines_mapping::MappingCache;
@@ -63,12 +63,14 @@ fn bench_engine_sweep(c: &mut Criterion) {
 const PR1_SEQUENTIAL_COLD_MS: f64 = 252.273;
 
 /// One-shot wall-clock comparison written to `BENCH_engine.json`.
+///
+/// The workload / accelerator / thread identification lives in the shared
+/// [`BenchHeader`] so every `BENCH_*.json` carries the same machine-readable
+/// provenance block.
 #[derive(Serialize)]
 struct EngineBenchReport {
-    workload: String,
-    accelerator: String,
+    header: BenchHeader,
     design_points: usize,
-    threads: usize,
     sequential_cold_ms: f64,
     engine_cold_ms: f64,
     engine_warm_ms: f64,
@@ -105,10 +107,13 @@ fn write_report(ctx: &ExperimentContext, net: &defines_workload::Network, tiles:
 
     let stats = shared.stats();
     let report = EngineBenchReport {
-        workload: net.name().to_string(),
-        accelerator: ctx.accelerator.name().to_string(),
+        header: BenchHeader::new(
+            "engine_sweep",
+            net.name(),
+            ctx.accelerator.name(),
+            EngineConfig::parallel().threads,
+        ),
         design_points: tiles.len() * OverlapMode::ALL.len(),
-        threads: EngineConfig::parallel().threads,
         sequential_cold_ms: sequential_cold.as_secs_f64() * 1e3,
         engine_cold_ms: engine_cold.as_secs_f64() * 1e3,
         engine_warm_ms: engine_warm.as_secs_f64() * 1e3,
@@ -137,7 +142,7 @@ fn write_report(ctx: &ExperimentContext, net: &defines_workload::Network, tiles:
         report.speedup_cold,
         report.engine_warm_ms,
         report.speedup_warm,
-        report.threads
+        report.header.threads
     );
 }
 

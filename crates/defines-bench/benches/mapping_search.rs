@@ -10,7 +10,7 @@
 //! false or if pruning stops firing.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use defines_bench::write_json;
+use defines_bench::{write_json, BenchHeader};
 use defines_mapping::{LomaMapper, MapperConfig, MappingCache, SearchStats, SingleLayerProblem};
 use defines_workload::{models, Layer, LayerDims, OpType};
 use serde::Serialize;
@@ -102,6 +102,7 @@ fn bench_mapping_search(c: &mut Criterion) {
 /// `BENCH_mapping.json`.
 #[derive(Serialize)]
 struct MappingBenchReport {
+    header: BenchHeader,
     problems: usize,
     max_orderings: usize,
     orderings_total: u64,
@@ -152,6 +153,14 @@ fn write_report(set: &[(defines_arch::Accelerator, Layer)]) {
 
     let results_identical = reference == pruned;
     let report = MappingBenchReport {
+        // The problem set mixes FSRCNN layer tiles with micro-problems across
+        // four zoo architectures; the search itself is single-threaded.
+        header: BenchHeader::new(
+            "mapping_search",
+            "fsrcnn-tiles+micro",
+            "zoo (meta-proto, edge-tpu, ascend, tpu)",
+            1,
+        ),
         problems: set.len(),
         max_orderings: mapper.config().max_orderings,
         orderings_total: stats.orderings_total,

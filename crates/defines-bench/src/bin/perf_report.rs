@@ -1,0 +1,175 @@
+//! `perf_report` — trace-backed localization of the engine's cold-sweep
+//! overhead.
+//!
+//! `BENCH_engine.json` records `speedup_cold < 1.0`: on few cores the engine's
+//! cold FSRCNN sweep is *slower* than the seed's plain sequential scan. This
+//! binary re-runs the same three scenarios (sequential cold, engine cold,
+//! engine warm) with span tracing and metrics enabled, aggregates a per-phase
+//! wall-time breakdown for each, and derives where the overhead actually
+//! lives: queue dispatch (`engine.run` time outside `engine.execute`),
+//! per-point setup (`engine.execute` time outside `evaluate.stack`), or the
+//! shared mapping memo (`mapping.search` delta versus the sequential run).
+//!
+//! Results are written to `BENCH_perf_report.json` at the repository root
+//! with the shared bench header.
+//!
+//! Run with: `cargo run --release -p defines-bench --bin perf_report`
+
+use defines_bench::{fig12_tile_grid, write_json, BenchHeader, ExperimentContext};
+use defines_core::{DfCostModel, Explorer, OverlapMode};
+use defines_engine::EngineConfig;
+use defines_mapping::MappingCache;
+use defines_telemetry::{MetricsSnapshot, PhaseBreakdown};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One traced run: its wall clock, phase breakdown and metrics delta.
+#[derive(Serialize)]
+struct Scenario {
+    name: String,
+    wall_ms: f64,
+    breakdown: PhaseBreakdown,
+    metrics: MetricsSnapshot,
+}
+
+/// Where the engine's cold-sweep time goes relative to the sequential scan.
+/// All values in milliseconds; spans nest, so these are span-total
+/// differences, not a partition of the wall clock.
+#[derive(Serialize)]
+struct Localization {
+    speedup_cold: f64,
+    speedup_warm: f64,
+    /// `engine.run` minus `engine.execute` minus `engine.collect`: queue
+    /// dispatch, worker setup and result plumbing.
+    queue_dispatch_ms: f64,
+    /// Result-collection time (`engine.collect`; zero on a single thread,
+    /// where the engine takes the sequential fast path).
+    collect_ms: f64,
+    /// `engine.execute` minus `evaluate.stack` in the engine-cold run:
+    /// per-point strategy setup and fuse partitioning around the cost model.
+    per_point_setup_ms: f64,
+    /// `mapping.search` total in the engine-cold run minus the sequential
+    /// run: the cost (or saving) of routing mappings through the shared
+    /// memo instead of the model's inline mapper.
+    memo_delta_ms: f64,
+    /// The dominant overhead source among the three above.
+    verdict: String,
+}
+
+/// Runs `f` with a clean telemetry slate and packages the resulting trace.
+fn traced<T>(name: &str, f: impl FnOnce() -> T) -> (T, Scenario) {
+    defines_telemetry::clear_events();
+    let before = defines_telemetry::snapshot();
+    let start = Instant::now();
+    let result = f();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let events = defines_telemetry::drain_events();
+    let scenario = Scenario {
+        name: name.to_string(),
+        wall_ms,
+        breakdown: PhaseBreakdown::from_events(&events),
+        metrics: defines_telemetry::snapshot().since(&before),
+    };
+    (result, scenario)
+}
+
+#[derive(Serialize)]
+struct PerfReport {
+    header: BenchHeader,
+    design_points: usize,
+    scenarios: Vec<Scenario>,
+    localization: Localization,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    defines_telemetry::set_tracing(true);
+    defines_telemetry::set_metrics(true);
+
+    let ctx = ExperimentContext::case_study_1();
+    let net = ctx.fsrcnn();
+    let tiles = fig12_tile_grid();
+    let threads = EngineConfig::parallel().threads;
+
+    // Scenario 1 — the seed's usage pattern: fresh model, sequential scan.
+    let cold_model = ctx.model();
+    let (sequential, seq_scenario) = traced("sequential_cold", || {
+        Explorer::new(&cold_model)
+            .sweep_sequential(&net, &tiles, &OverlapMode::ALL)
+            .unwrap()
+    });
+
+    // Scenarios 2 and 3 — the engine with a shared mapping cache, cold then
+    // warm (the second sweep answers every mapping from the memo).
+    let shared = MappingCache::new();
+    let engine_model = DfCostModel::new(&ctx.accelerator)
+        .with_fast_mapper()
+        .with_shared_cache(shared.clone());
+    let explorer = Explorer::new(&engine_model).with_engine_config(EngineConfig::parallel());
+    let (engine_cold_results, cold_scenario) = traced("engine_cold", || {
+        explorer.sweep(&net, &tiles, &OverlapMode::ALL).unwrap()
+    });
+    let (engine_warm_results, warm_scenario) = traced("engine_warm", || {
+        explorer.sweep(&net, &tiles, &OverlapMode::ALL).unwrap()
+    });
+    assert!(
+        engine_cold_results == sequential && engine_warm_results == sequential,
+        "engine sweep diverged from the sequential reference under tracing"
+    );
+
+    let b = &cold_scenario.breakdown;
+    let queue_dispatch_ms =
+        (b.total_ms("engine.run") - b.total_ms("engine.execute") - b.total_ms("engine.collect"))
+            .max(0.0);
+    let per_point_setup_ms = (b.total_ms("engine.execute") - b.total_ms("evaluate.stack")).max(0.0);
+    let memo_delta_ms =
+        b.total_ms("mapping.search") - seq_scenario.breakdown.total_ms("mapping.search");
+    let sources = [
+        ("queue dispatch", queue_dispatch_ms),
+        ("per-point setup", per_point_setup_ms),
+        ("mapping memo", memo_delta_ms),
+    ];
+    let dominant = sources
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty source list");
+    let localization = Localization {
+        speedup_cold: seq_scenario.wall_ms / cold_scenario.wall_ms,
+        speedup_warm: seq_scenario.wall_ms / warm_scenario.wall_ms,
+        queue_dispatch_ms,
+        collect_ms: b.total_ms("engine.collect"),
+        per_point_setup_ms,
+        memo_delta_ms,
+        verdict: format!("{} ({:.1} ms)", dominant.0, dominant.1),
+    };
+
+    let report = PerfReport {
+        header: BenchHeader::new("perf_report", net.name(), ctx.accelerator.name(), threads),
+        design_points: tiles.len() * OverlapMode::ALL.len(),
+        scenarios: vec![seq_scenario, cold_scenario, warm_scenario],
+        localization,
+    };
+
+    for scenario in &report.scenarios {
+        println!("## {} — {:.1} ms wall\n", scenario.name, scenario.wall_ms);
+        println!("{}", scenario.breakdown.to_markdown());
+    }
+    println!("## Cold-overhead localization\n");
+    println!(
+        "speedup: cold {:.3}x, warm {:.3}x vs sequential",
+        report.localization.speedup_cold, report.localization.speedup_warm
+    );
+    println!(
+        "queue dispatch {:.1} ms | collect {:.1} ms | per-point setup {:.1} ms | mapping memo \
+         delta {:+.1} ms",
+        report.localization.queue_dispatch_ms,
+        report.localization.collect_ms,
+        report.localization.per_point_setup_ms,
+        report.localization.memo_delta_ms,
+    );
+    println!("dominant overhead: {}", report.localization.verdict);
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf_report.json");
+    write_json(path, &report)?;
+    println!("Wrote BENCH_perf_report.json");
+    Ok(())
+}

@@ -109,6 +109,10 @@ fn main() {
                 .value_name("PATH")
                 .help("Write the report as a markdown document (ranking + cell tables)"),
         )
+        .arg(Arg::new("trace").long("trace").value_name("PATH").help(
+            "Record pipeline spans and write a Chrome trace-event JSON file \
+                     (open in Perfetto or chrome://tracing)",
+        ))
         .arg(
             Arg::new("quiet")
                 .long("quiet")
@@ -161,6 +165,14 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
         .parse()
         .map_err(|_| "--threads expects a non-negative integer".to_string())?;
     let quiet = matches.get_flag("quiet");
+    let trace_path = matches.value_of("trace");
+    // The matrix report's metrics section is sourced from the telemetry
+    // snapshot, so counters are always on here (their cost is a relaxed
+    // atomic add); span tracing stays opt-in via --trace.
+    defines_telemetry::set_metrics(true);
+    if trace_path.is_some() {
+        defines_telemetry::set_tracing(true);
+    }
 
     // --tilex/--tiley apply the same explicit grid to every cell; omitted,
     // each workload gets its own default case-study grid inside the runner.
@@ -238,6 +250,26 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
             cache.hit_rate() * 100.0,
             cache.canonical_hits,
         );
+    }
+
+    if let Some(metrics) = report
+        .metrics
+        .get("search.orderings_evaluated")
+        .zip(report.metrics.get("search.pruned_bound"))
+    {
+        println!(
+            "mapping search  : {} orderings evaluated, {} pruned by bound, {} by symmetry",
+            metrics.0,
+            metrics.1,
+            report.metrics.get("search.pruned_symmetry").unwrap_or(0),
+        );
+    }
+
+    if let Some(path) = trace_path {
+        let events = defines_telemetry::drain_events();
+        let trace = defines_telemetry::chrome_trace(&events);
+        std::fs::write(path, trace.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trace           : {} spans written to {path}", events.len());
     }
 
     if let Some(path) = matches.value_of("json") {

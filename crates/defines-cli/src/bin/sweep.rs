@@ -112,6 +112,16 @@ fn main() {
                 .value_name("PATH")
                 .help("Write the sweep records, best strategy and statistics as JSON"),
         )
+        .arg(Arg::new("trace").long("trace").value_name("PATH").help(
+            "Record pipeline spans and write a Chrome trace-event JSON file \
+                     (open in Perfetto or chrome://tracing)",
+        ))
+        .arg(
+            Arg::new("profile")
+                .long("profile")
+                .action(ArgAction::SetTrue)
+                .help("Print a per-phase wall-time breakdown and a metrics snapshot"),
+        )
         .arg(
             Arg::new("quiet")
                 .long("quiet")
@@ -203,6 +213,16 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
         .parse()
         .map_err(|_| "--threads expects a non-negative integer".to_string())?;
     let quiet = matches.get_flag("quiet");
+    let trace_path = matches.value_of("trace");
+    let profile = matches.get_flag("profile");
+    // Tracing and metrics stay off (one relaxed atomic load per probe)
+    // unless asked for, so an un-flagged sweep is bit-identical to the
+    // uninstrumented binary.
+    if trace_path.is_some() || profile {
+        defines_telemetry::set_tracing(true);
+        defines_telemetry::set_metrics(true);
+    }
+    let metrics_before = defines_telemetry::snapshot();
 
     let mut model = DfCostModel::new(&acc);
     if !matches.get_flag("full-mapper") {
@@ -385,6 +405,33 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
         cache.canonical_hits,
     );
 
+    // Export telemetry after every engine run has finished (the scoped
+    // worker threads have exited, so the drain sees all their spans).
+    let mut profile_json = None;
+    if trace_path.is_some() || profile {
+        let events = defines_telemetry::drain_events();
+        let metrics = defines_telemetry::snapshot().since(&metrics_before);
+        if let Some(path) = trace_path {
+            let trace = defines_telemetry::chrome_trace(&events);
+            std::fs::write(path, trace.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("trace           : {} spans written to {path}", events.len());
+        }
+        let breakdown = defines_telemetry::PhaseBreakdown::from_events(&events);
+        if profile {
+            println!("\n## Phase breakdown\n");
+            print!("{}", breakdown.to_markdown());
+            println!("\n## Metrics\n");
+            for metric in &metrics.values {
+                println!("| `{}` | {} |", metric.name, metric.value);
+            }
+        }
+        profile_json = Some(Value::Object(vec![
+            ("breakdown".into(), serde::Serialize::to_value(&breakdown)),
+            ("metrics".into(), serde::Serialize::to_value(&metrics)),
+        ]));
+    }
+
     if let Some(path) = matches.value_of("json") {
         let mut fields = vec![
             ("workload".into(), Value::Str(net.name().to_string())),
@@ -423,6 +470,9 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
             ),
             ("records".into(), Value::Array(record_rows)),
         ]);
+        if let Some(profile) = profile_json {
+            fields.push(("profile".into(), profile));
+        }
         let doc = Value::Object(fields);
         std::fs::write(path, doc.to_json_pretty())
             .map_err(|e| format!("cannot write {path}: {e}"))?;

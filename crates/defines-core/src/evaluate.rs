@@ -13,6 +13,7 @@ use defines_mapping::{
     AccessBreakdown, LayerCost, LomaMapper, MapperConfig, MappingCache, Objective,
     OperandTopLevels, SingleLayerProblem,
 };
+use defines_telemetry::{span, Counter};
 use defines_workload::{Layer, LayerDims, Network};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -293,6 +294,7 @@ impl<'a> DfCostModel<'a> {
         stack_input_level: MemoryLevelId,
         stack_output_level: MemoryLevelId,
     ) -> StackCost {
+        let _span = span!("evaluate.stack");
         let net = geometry.net();
         let stack = geometry.stack();
         let sink = net.layer(stack.last_layer());
@@ -385,6 +387,10 @@ impl<'a> DfCostModel<'a> {
         stack_output_level: MemoryLevelId,
         scratch: &mut EvalScratch,
     ) -> TileEval {
+        /// Distinct tile types priced across every stack evaluation.
+        static TILE_TYPES: Counter = Counter::new("evaluate.tile_types");
+        let _span = span!("evaluate.tile_type");
+        TILE_TYPES.incr();
         let dram = self.acc.hierarchy().dram_id();
         let mut energy = 0.0;
         let mut latency = 0.0;

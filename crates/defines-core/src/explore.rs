@@ -18,6 +18,7 @@ use crate::stack::{partition_into_stacks, FuseDepth, Stack};
 use crate::strategy::{DfStrategy, OverlapMode, TileSize};
 use defines_arch::Accelerator;
 use defines_engine::{EngineConfig, SweepEngine, SweepRecord, SweepStats};
+use defines_telemetry::span;
 use defines_workload::Network;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -262,6 +263,7 @@ impl<'a> Explorer<'a> {
     /// [`EvaluationError`]s a per-point evaluation would — and guarantees
     /// the engine's evaluate closures cannot fail mid-sweep.
     fn validate_sweep(&self, net: &Network) -> Result<(), EvaluationError> {
+        let _span = span!("explore.validate");
         net.validate()?;
         let stacks = partition_into_stacks(net, self.model.accelerator(), &self.fuse);
         crate::evaluate::validate_stacks(net, &stacks)
@@ -339,6 +341,7 @@ impl<'a> Explorer<'a> {
         modes: &[OverlapMode],
     ) -> Result<Vec<ExplorationResult>, EvaluationError> {
         self.validate_sweep(net)?;
+        let _span = span!("explore.sweep");
         let points = self.design_points(tile_sizes, modes);
         let engine = SweepEngine::new(self.engine.config().with_pruning(false))
             .with_label(self.engine_label(net));
@@ -399,6 +402,7 @@ impl<'a> Explorer<'a> {
         on_record: impl FnMut(DfSweepRecord),
     ) -> Result<SweepStats, EvaluationError> {
         self.validate_sweep(net)?;
+        let _span = span!("explore.sweep");
         let acc = self.model.accelerator();
         let points = self.design_points(tile_sizes, modes);
         let bounds = StrategyBounds::new(net, acc, target);
@@ -514,6 +518,7 @@ impl<'a> Explorer<'a> {
         target: OptimizeTarget,
         policy: &FusePolicy,
     ) -> Result<ScheduleResult, EvaluationError> {
+        let _span = span!("explore.schedule");
         net.validate()?;
         let acc = self.model.accelerator();
         match policy.fixed_fuse_depth() {
@@ -621,6 +626,7 @@ impl<'a> Explorer<'a> {
         modes: &[OverlapMode],
         target: OptimizeTarget,
     ) -> (Vec<(TileSize, OverlapMode, f64, StackCost)>, SweepStats) {
+        let _span = span!("explore.stack_search");
         let acc = self.model.accelerator();
         let dram = acc.hierarchy().dram_id();
 

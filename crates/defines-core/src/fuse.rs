@@ -26,6 +26,7 @@
 
 use crate::stack::{auto_partition, segments, weight_fuse_budget_bytes, FuseDepth, Stack};
 use defines_arch::Accelerator;
+use defines_telemetry::{span, Counter};
 use defines_workload::{LayerId, Network};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -145,6 +146,9 @@ pub fn enumerate_candidates(
     max_span: usize,
     weight_budget_factor: f64,
 ) -> Vec<Stack> {
+    /// Fuse-stack candidates produced across every enumeration.
+    static FUSE_CANDIDATES: Counter = Counter::new("fuse.candidates");
+    let _span = span!("fuse.enumerate");
     let budget = weight_fuse_budget_bytes(acc) as f64 * weight_budget_factor.max(0.0);
     // `as` saturates: an infinite factor admits every span.
     let budget = budget as u64;
@@ -190,6 +194,7 @@ pub fn enumerate_candidates(
         push(stack, &mut candidates);
     }
 
+    FUSE_CANDIDATES.add(candidates.len() as u64);
     candidates
 }
 
@@ -210,6 +215,7 @@ pub fn optimal_partition(
     spans: &[(usize, usize)],
     values: &[f64],
 ) -> Option<(Vec<usize>, f64)> {
+    let _span = span!("fuse.partition_dp");
     assert_eq!(
         spans.len(),
         values.len(),

@@ -25,6 +25,7 @@ use crate::strategy::OverlapMode;
 use defines_arch::Accelerator;
 use defines_engine::{EngineConfig, SweepEngine, SweepStats};
 use defines_mapping::MappingCache;
+use defines_telemetry::MetricsSnapshot;
 use defines_workload::Network;
 use serde::{Serialize, Value};
 use std::fmt;
@@ -168,6 +169,11 @@ pub struct MatrixReport {
     /// The merged statistics of all inner per-cell schedule searches: how
     /// many design points the matrix evaluated in total.
     pub inner_stats: SweepStats,
+    /// Delta of the global telemetry metrics over this run (mapping-cache
+    /// hit/miss/canonical counters, branch-and-bound prune counters, …).
+    /// Empty unless the process enabled metrics recording
+    /// ([`defines_telemetry::set_metrics`]) — the `matrix` CLI always does.
+    pub metrics: MetricsSnapshot,
 }
 
 impl MatrixReport {
@@ -212,6 +218,34 @@ impl MatrixReport {
                 cache.hit_rate() * 100.0,
                 cache.canonical_hits,
             ));
+        }
+        if !self.metrics.is_empty() {
+            let get = |name: &str| self.metrics.get(name).unwrap_or(0);
+            let hits = get("mapping.cache.hits");
+            let misses = get("mapping.cache.misses");
+            let lookups = hits + misses;
+            let hit_rate = if lookups > 0 {
+                hits as f64 / lookups as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "- mapping cache (metrics): {hits} hits / {misses} misses ({:.1}% hit \
+                 rate, {} canonical)\n",
+                hit_rate * 100.0,
+                get("mapping.cache.canonical_hits"),
+            ));
+            out.push_str(&format!(
+                "- mapping search: {} orderings evaluated, {} pruned by bound, \
+                 {} pruned by symmetry\n",
+                get("search.orderings_evaluated"),
+                get("search.pruned_bound"),
+                get("search.pruned_symmetry"),
+            ));
+            out.push_str("\n## Metrics\n\n| metric | value |\n|---|---:|\n");
+            for metric in &self.metrics.values {
+                out.push_str(&format!("| `{}` | {} |\n", metric.name, metric.value));
+            }
         }
 
         out.push_str(&format!(
@@ -347,6 +381,7 @@ impl Serialize for MatrixReport {
             ),
             ("stats".into(), self.stats.to_value()),
             ("inner_stats".into(), self.inner_stats.to_value()),
+            ("metrics".into(), self.metrics.to_value()),
         ])
     }
 }
@@ -496,6 +531,7 @@ pub fn run_matrix(
         .with_label("matrix")
         .with_label_detail(format!("{} cells", points.len()));
     let cache_before = config.cache.stats();
+    let metrics_before = defines_telemetry::snapshot();
 
     let evaluate = |point: &(usize, usize, usize)| -> ScheduleResult {
         let &(ai, wi, pi) = point;
@@ -569,6 +605,7 @@ pub fn run_matrix(
         },
     );
     let stats = stats.with_cache(config.cache.stats().since(&cache_before));
+    let metrics = defines_telemetry::snapshot().since(&metrics_before);
 
     let cells: Vec<CellOutcome> = slots
         .into_iter()
@@ -622,6 +659,7 @@ pub fn run_matrix(
         ranking,
         stats,
         inner_stats,
+        metrics,
     })
 }
 

@@ -1,10 +1,18 @@
 //! The work-queue parallel sweep executor with pruning and streaming results.
 
 use crate::memo::CacheStats;
+use defines_telemetry::{span, Counter, Gauge};
 use serde::{Serialize, Value};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+/// Design points fully evaluated across every sweep in the process.
+static POINTS_EVALUATED: Counter = Counter::new("engine.points_evaluated");
+/// Design points skipped by lower-bound pruning across every sweep.
+static POINTS_PRUNED: Counter = Counter::new("engine.points_pruned");
+/// Worker threads of the most recent sweep.
+static THREADS_GAUGE: Gauge = Gauge::new("engine.threads");
 
 /// How a sweep executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -325,14 +333,18 @@ impl SweepEngine {
         L: Fn(&P) -> f64 + Sync,
         S: FnMut(SweepRecord<P, C>),
     {
+        let _run_span = span!("engine.run");
         let start = Instant::now();
         let bound = if self.config.prune { lower_bound } else { None };
         let threads = self.config.threads.min(points.len()).max(1);
+        THREADS_GAUGE.set(threads as u64);
         let (evaluated, pruned) = if threads <= 1 {
             self.run_sequential(points, evaluate, objective, bound, on_record)
         } else {
             self.run_parallel(points, threads, evaluate, objective, bound, on_record)
         };
+        POINTS_EVALUATED.add(evaluated as u64);
+        POINTS_PRUNED.add(pruned as u64);
         SweepStats {
             label: self.label.clone().unwrap_or_default(),
             points: points.len(),
@@ -416,7 +428,10 @@ impl SweepEngine {
                     continue;
                 }
             }
-            let cost = evaluate(point);
+            let cost = {
+                let _span = span!("engine.execute", point = index);
+                evaluate(point)
+            };
             let value = objective(point, &cost);
             evaluated += 1;
             let is_best = value < best;
@@ -454,40 +469,47 @@ impl SweepEngine {
         let mut pruned = 0;
         std::thread::scope(|scope| {
             let (tx, rx) = mpsc::channel::<(usize, Outcome<C>)>();
-            for _ in 0..threads {
+            for worker in 0..threads {
                 let tx = tx.clone();
                 let queue = &queue;
                 let best_bits = &best_bits;
-                scope.spawn(move || loop {
-                    let index = queue.fetch_add(1, Ordering::Relaxed);
-                    if index >= points.len() {
-                        return;
-                    }
-                    let point = &points[index];
-                    if let Some(lb) = lower_bound {
-                        let bound = lb(point);
-                        if bound > f64::from_bits(best_bits.load(Ordering::Relaxed)) {
-                            if tx
-                                .send((index, Outcome::Pruned { lower_bound: bound }))
-                                .is_err()
-                            {
-                                return;
-                            }
-                            continue;
+                scope.spawn(move || {
+                    let _worker_span = span!("engine.worker", worker = worker);
+                    loop {
+                        let index = queue.fetch_add(1, Ordering::Relaxed);
+                        if index >= points.len() {
+                            return;
                         }
-                    }
-                    let cost = evaluate(point);
-                    let value = objective(point, &cost);
-                    atomic_f64_min(best_bits, value);
-                    if tx
-                        .send((index, Outcome::Evaluated { cost, value }))
-                        .is_err()
-                    {
-                        return;
+                        let point = &points[index];
+                        if let Some(lb) = lower_bound {
+                            let bound = lb(point);
+                            if bound > f64::from_bits(best_bits.load(Ordering::Relaxed)) {
+                                if tx
+                                    .send((index, Outcome::Pruned { lower_bound: bound }))
+                                    .is_err()
+                                {
+                                    return;
+                                }
+                                continue;
+                            }
+                        }
+                        let cost = {
+                            let _span = span!("engine.execute", point = index);
+                            evaluate(point)
+                        };
+                        let value = objective(point, &cost);
+                        atomic_f64_min(best_bits, value);
+                        if tx
+                            .send((index, Outcome::Evaluated { cost, value }))
+                            .is_err()
+                        {
+                            return;
+                        }
                     }
                 });
             }
             drop(tx);
+            let _collect_span = span!("engine.collect");
             let mut best_seen = f64::INFINITY;
             for (index, outcome) in rx {
                 let is_best = match &outcome {
@@ -672,6 +694,39 @@ mod tests {
         let empty = SweepStats::merged("none", []);
         assert_eq!(empty.points, 0);
         assert_eq!(empty.elapsed, Duration::ZERO);
+    }
+
+    #[test]
+    fn points_per_second_guards_zero_elapsed() {
+        // An instantaneous run (elapsed rounds to zero) must report a rate
+        // of zero, not Inf/NaN.
+        let instant = SweepStats {
+            label: String::new(),
+            points: 10,
+            evaluated: 10,
+            pruned: 0,
+            threads: 1,
+            elapsed: Duration::ZERO,
+            cache: None,
+        };
+        assert_eq!(instant.points_per_second(), 0.0);
+        assert!(instant.points_per_second().is_finite());
+    }
+
+    #[test]
+    fn points_per_second_guards_empty_run() {
+        // An empty sweep: zero points over zero time is zero, and merging
+        // nothing stays well-defined.
+        let empty = SweepStats::merged("empty", []);
+        assert_eq!(empty.evaluated, 0);
+        assert_eq!(empty.points_per_second(), 0.0);
+        assert!(empty.points_per_second().is_finite());
+        // Non-zero elapsed with zero evaluated is a plain 0 rate.
+        let idle = SweepStats {
+            elapsed: Duration::from_millis(5),
+            ..empty
+        };
+        assert_eq!(idle.points_per_second(), 0.0);
     }
 
     #[test]

@@ -14,8 +14,16 @@ use crate::cost::LayerCost;
 use crate::loma::LomaMapper;
 use crate::problem::{OperandTopLevels, SingleLayerProblem};
 use defines_engine::{CacheStats, MemoCache};
+use defines_telemetry::{span, Counter};
 use defines_workload::{LayerDims, OpType};
 use std::sync::Arc;
+
+/// Mapping-cache lookups served from an existing entry.
+static CACHE_HITS: Counter = Counter::new("mapping.cache.hits");
+/// Lookups that ran the mapper (and inserted the result).
+static CACHE_MISSES: Counter = Counter::new("mapping.cache.misses");
+/// Hits that only exist because of key canonicalization.
+static CACHE_CANONICAL_HITS: Counter = Counter::new("mapping.cache.canonical_hits");
 
 /// The memoization key: everything that determines a mapping result.
 ///
@@ -173,11 +181,18 @@ impl MappingCache {
         mapper: &LomaMapper,
         problem: &SingleLayerProblem<'_>,
     ) -> Arc<LayerCost> {
-        let (cost, hit) = self
-            .inner
-            .get_or_insert_with_meta(key, || Arc::new(mapper.optimize(problem)));
-        if hit && canonicalized {
-            self.inner.record_canonical_hit();
+        let (cost, hit) = self.inner.get_or_insert_with_meta(key, || {
+            let _span = span!("mapping.search");
+            Arc::new(mapper.optimize(problem))
+        });
+        if hit {
+            CACHE_HITS.incr();
+            if canonicalized {
+                self.inner.record_canonical_hit();
+                CACHE_CANONICAL_HITS.incr();
+            }
+        } else {
+            CACHE_MISSES.incr();
         }
         cost
     }

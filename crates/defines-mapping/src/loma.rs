@@ -17,8 +17,16 @@ use crate::cost::{evaluate, LayerCost, Objective};
 use crate::problem::SingleLayerProblem;
 use crate::search::{search, SearchStats};
 use crate::temporal::{candidate_orderings, TemporalMapping};
+use defines_telemetry::Counter;
 use defines_workload::Dim;
 use serde::{Deserialize, Serialize};
+
+/// Loop orderings fully evaluated by the branch-and-bound search.
+static ORDERINGS_EVALUATED: Counter = Counter::new("search.orderings_evaluated");
+/// Orderings skipped by the partial-cost lower bound.
+static PRUNED_BOUND: Counter = Counter::new("search.pruned_bound");
+/// Orderings skipped as non-canonical members of a symmetry orbit.
+static PRUNED_SYMMETRY: Counter = Counter::new("search.pruned_symmetry");
 
 /// Configuration of the mapping search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -94,7 +102,11 @@ impl LomaMapper {
     /// search, which is guaranteed to return the same cost (and the same
     /// tie-broken mapping) as [`LomaMapper::optimize_exhaustive`].
     pub fn optimize(&self, problem: &SingleLayerProblem<'_>) -> LayerCost {
-        self.optimize_with_stats(problem).0
+        let (cost, stats) = self.optimize_with_stats(problem);
+        ORDERINGS_EVALUATED.add(stats.evaluated);
+        PRUNED_BOUND.add(stats.pruned_bound);
+        PRUNED_SYMMETRY.add(stats.pruned_symmetry);
+        cost
     }
 
     /// Like [`LomaMapper::optimize`], additionally returning the search

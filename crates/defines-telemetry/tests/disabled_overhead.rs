@@ -1,0 +1,84 @@
+//! Proves the disabled hot path allocates nothing.
+//!
+//! Lives in its own integration-test binary because it installs a counting
+//! `#[global_allocator]`; keeping it isolated means the counter only sees
+//! this file's allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The two tests toggle the same global switches; run them one at a time.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+static POINTS: defines_telemetry::Counter = defines_telemetry::Counter::new("overhead.points");
+static LEVEL: defines_telemetry::Gauge = defines_telemetry::Gauge::new("overhead.level");
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_spans_and_metrics_do_not_allocate() {
+    let _lock = TEST_LOCK.lock().unwrap();
+    // Both switches default to off; make it explicit anyway.
+    defines_telemetry::set_tracing(false);
+    defines_telemetry::set_metrics(false);
+
+    // Warm anything lazy outside the measured window.
+    {
+        let _s = defines_telemetry::span!("overhead.warmup");
+        POINTS.incr();
+    }
+
+    let before = allocations();
+    for _ in 0..10_000 {
+        let _plain = defines_telemetry::span!("overhead.span");
+        let _args = defines_telemetry::span!("overhead.span", worker = 1u64);
+        POINTS.add(3);
+        POINTS.incr();
+        LEVEL.set(7);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "disabled telemetry hot path must not allocate"
+    );
+}
+
+#[test]
+fn enabled_spans_actually_record() {
+    let _lock = TEST_LOCK.lock().unwrap();
+    // Sanity check in the same binary: the zero-allocation result above is
+    // meaningful only if the same call sites do record once enabled.
+    defines_telemetry::set_tracing(true);
+    defines_telemetry::set_metrics(true);
+    {
+        let _s = defines_telemetry::span!("overhead.enabled");
+        POINTS.incr();
+    }
+    defines_telemetry::set_tracing(false);
+    defines_telemetry::set_metrics(false);
+    let events = defines_telemetry::drain_events();
+    assert!(events.iter().any(|e| e.name == "overhead.enabled"));
+    assert!(POINTS.value() >= 1);
+}

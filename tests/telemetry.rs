@@ -1,0 +1,146 @@
+//! Cross-crate telemetry integration tests: multi-threaded span recording,
+//! Chrome-trace JSON round-tripping through the real parser, and the
+//! bit-identity guarantee — enabling tracing must not change any sweep
+//! result.
+//!
+//! Telemetry state (enable flags, span sink, metric registry) is global, so
+//! every test serializes on one lock.
+
+use defines_core::{Explorer, OverlapMode};
+use defines_telemetry::{span, SpanEvent};
+use std::sync::{Mutex, MutexGuard};
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes the test and leaves telemetry disabled with a clean sink,
+/// whatever the previous test did.
+fn telemetry_test() -> MutexGuard<'static, ()> {
+    let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    defines_telemetry::set_tracing(false);
+    defines_telemetry::set_metrics(false);
+    defines_telemetry::clear_events();
+    guard
+}
+
+#[test]
+fn spans_from_many_threads_merge_without_loss() {
+    let _guard = telemetry_test();
+    defines_telemetry::set_tracing(true);
+
+    const THREADS: usize = 8;
+    const SPANS_PER_THREAD: usize = 250;
+    std::thread::scope(|scope| {
+        for worker in 0..THREADS {
+            scope.spawn(move || {
+                for _ in 0..SPANS_PER_THREAD {
+                    let _span = span!("test.work", worker = worker);
+                }
+            });
+        }
+    });
+
+    let events = defines_telemetry::drain_events();
+    defines_telemetry::set_tracing(false);
+
+    assert_eq!(events.len(), THREADS * SPANS_PER_THREAD);
+    assert!(events.iter().all(|e| e.name == "test.work"));
+    // Every spawned thread got its own id, and each recorded its full batch.
+    let mut threads: Vec<u32> = events.iter().map(|e| e.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    assert_eq!(threads.len(), THREADS);
+    for tid in threads {
+        let per_thread = events.iter().filter(|e| e.thread == tid).count();
+        assert_eq!(per_thread, SPANS_PER_THREAD);
+    }
+    // The per-thread worker argument survives the merge.
+    let workers: std::collections::HashSet<u64> = events
+        .iter()
+        .map(|e| e.args.iter().find(|(k, _)| *k == "worker").unwrap().1)
+        .collect();
+    assert_eq!(workers.len(), THREADS);
+}
+
+#[test]
+fn chrome_trace_round_trips_through_the_json_parser() {
+    let _guard = telemetry_test();
+
+    let events = vec![
+        SpanEvent {
+            name: "explore.sweep",
+            start_us: 0.0,
+            dur_us: 125.5,
+            thread: 0,
+            args: Vec::new(),
+        },
+        SpanEvent {
+            name: "engine.execute",
+            start_us: 10.25,
+            dur_us: 50.0,
+            thread: 1,
+            args: vec![("point", 7)],
+        },
+    ];
+    let text = defines_telemetry::chrome_trace(&events).to_json();
+    let parsed = serde_json::from_str(&text).expect("trace must be valid JSON");
+
+    let items = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    // 2 thread_name metadata events (one per track) + 2 span events.
+    assert_eq!(items.len(), 4);
+    let span = items
+        .iter()
+        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("engine.execute"))
+        .expect("engine.execute span present");
+    assert_eq!(span.get("ph").and_then(|p| p.as_str()), Some("X"));
+    assert_eq!(span.get("tid").and_then(|t| t.as_u64()), Some(1));
+    assert_eq!(
+        span.get("args")
+            .and_then(|a| a.get("point"))
+            .and_then(|p| p.as_u64()),
+        Some(7)
+    );
+    for item in items {
+        assert!(item.get("pid").is_some());
+        assert!(item.get("tid").is_some());
+    }
+}
+
+#[test]
+fn tracing_does_not_change_sweep_results() {
+    let _guard = telemetry_test();
+
+    let accelerator = defines_arch::zoo::meta_proto_like_df();
+    let net = defines_workload::models::fsrcnn();
+    let tiles = [(60, 72), (960, 540)];
+
+    let model = defines_core::DfCostModel::new(&accelerator).with_fast_mapper();
+    let untraced = Explorer::new(&model)
+        .sweep(&net, &tiles, &OverlapMode::ALL)
+        .expect("untraced sweep");
+
+    // A fresh model for the traced run: mapping caches start cold, so the
+    // `mapping.search` spans (recorded on cache misses) actually fire.
+    let fresh = defines_core::DfCostModel::new(&accelerator).with_fast_mapper();
+    defines_telemetry::set_tracing(true);
+    defines_telemetry::set_metrics(true);
+    let traced = Explorer::new(&fresh)
+        .sweep(&net, &tiles, &OverlapMode::ALL)
+        .expect("traced sweep");
+    let events = defines_telemetry::drain_events();
+    defines_telemetry::set_tracing(false);
+    defines_telemetry::set_metrics(false);
+
+    // The signature invariant: instrumentation observes the pipeline, it
+    // never perturbs it.
+    assert_eq!(untraced, traced);
+    // And the traced run actually recorded the pipeline stages.
+    for prefix in ["explore.", "engine.", "evaluate.", "mapping."] {
+        assert!(
+            events.iter().any(|e| e.name.starts_with(prefix)),
+            "no {prefix}* span recorded"
+        );
+    }
+}
