@@ -94,6 +94,15 @@ struct EvalScratch {
     output_levels: Vec<MemoryLevelId>,
 }
 
+/// The sweep-invariant half of a network evaluation: the stack partition's
+/// back-calculated geometries, built once by [`DfCostModel::prepare_stacks`]
+/// and shared by every design point of a sweep (the engine's evaluate
+/// closures). Borrows the network and the caller-owned stack partition.
+pub struct PreparedNetwork<'n> {
+    net: &'n Network,
+    geometries: Vec<StackGeometry<'n>>,
+}
+
 /// Per-layer facts of a stack that every tile type re-uses: resolved layer
 /// reference, whether the layer carries weights, and the stack positions of
 /// its in-stack predecessors. Computed once per stack instead of once per
@@ -205,6 +214,15 @@ impl<'a> DfCostModel<'a> {
         self
     }
 
+    /// Sets the number of worker threads the branch-and-bound mapping search
+    /// may fan out to per problem (`1` keeps it sequential; results are
+    /// bit-identical at any thread count). Does not affect the mapper's
+    /// cache fingerprint — cache entries are shared across thread counts.
+    pub fn with_search_threads(mut self, threads: usize) -> Self {
+        self.mapper = LomaMapper::new(self.mapper.config().with_search_threads(threads));
+        self
+    }
+
     /// Sets the single-layer mapper's optimization objective (energy by
     /// default; latency reproduces the latency-optimized schedules of
     /// Fig. 18(d)).
@@ -242,22 +260,61 @@ impl<'a> DfCostModel<'a> {
         net.validate()?;
         let stacks = partition_into_stacks(net, self.acc, &strategy.fuse);
         validate_stacks(net, &stacks)?;
-        let mut stack_costs = Vec::with_capacity(stacks.len());
-        for stack in &stacks {
-            // One geometry per stack: shared by the between-stack level
-            // resolution and every tile-type analysis of the stack.
-            let geometry = StackGeometry::new(net, stack);
-            let in_level = self.stack_input_level(&geometry, strategy.between_stacks);
-            let out_level = self.stack_output_level(net, stack, strategy.between_stacks);
+        let prepared = self.prepare_stacks(net, &stacks);
+        Ok(self.evaluate_prepared(&prepared, strategy))
+    }
+
+    /// Builds the per-stack geometry state every design point of a sweep
+    /// shares, so the per-point evaluation ([`DfCostModel::evaluate_prepared`])
+    /// skips the validation / partitioning / back-calculation setup that is
+    /// identical across points. `stacks` must be the partition of `net` under
+    /// the fuse depth the evaluated strategies will carry
+    /// ([`partition_into_stacks`], already validated).
+    pub fn prepare_stacks<'n>(&self, net: &'n Network, stacks: &'n [Stack]) -> PreparedNetwork<'n> {
+        PreparedNetwork {
+            net,
+            geometries: stacks
+                .iter()
+                .map(|stack| StackGeometry::new(net, stack))
+                .collect(),
+        }
+    }
+
+    /// [`DfCostModel::evaluate_network`] on pre-built stack geometries: the
+    /// per-point remainder of a sweep evaluation. Only the components that
+    /// actually vary across a sweep's design points (tile size, overlap mode,
+    /// between-stack memory policy) are read from `strategy`; the fuse
+    /// partition is the prepared one. Bit-identical to
+    /// [`DfCostModel::evaluate_network`] by construction — it runs the same
+    /// per-stack sequence on the same geometry.
+    pub fn evaluate_prepared(
+        &self,
+        prepared: &PreparedNetwork<'_>,
+        strategy: &DfStrategy,
+    ) -> NetworkCost {
+        debug_assert_eq!(
+            partition_into_stacks(prepared.net, self.acc, &strategy.fuse),
+            prepared
+                .geometries
+                .iter()
+                .map(|g| g.stack().clone())
+                .collect::<Vec<_>>(),
+            "strategy fuse depth diverges from the prepared partition"
+        );
+        let mut stack_costs = Vec::with_capacity(prepared.geometries.len());
+        for geometry in &prepared.geometries {
+            let in_level = self.stack_input_level(geometry, strategy.between_stacks);
+            let out_level =
+                self.stack_output_level(prepared.net, geometry.stack(), strategy.between_stacks);
             stack_costs.push(self.evaluate_stack_with_geometry(
-                &geometry,
+                geometry,
                 strategy.tile,
                 strategy.mode,
                 in_level,
                 out_level,
             ));
         }
-        Ok(NetworkCost::from_stacks(stack_costs))
+        NetworkCost::from_stacks(stack_costs)
     }
 
     /// Evaluates a single stack of fused layers with explicit between-stack

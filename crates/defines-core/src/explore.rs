@@ -269,17 +269,13 @@ impl<'a> Explorer<'a> {
         crate::evaluate::validate_stacks(net, &stacks)
     }
 
-    /// The engine's evaluate closure: infallible because
-    /// [`Explorer::validate_sweep`] ran first.
-    fn network_evaluator<'b>(
-        &'b self,
-        net: &'b Network,
-    ) -> impl Fn(&DfStrategy) -> NetworkCost + Sync + 'b {
-        move |s| {
-            self.model
-                .evaluate_network(net, s)
-                .expect("sweep strategies are validated before the engine run")
-        }
+    /// The stack partition every design point of this explorer's sweeps
+    /// shares (the explorer's fuse depth is fixed per sweep), computed once
+    /// so the engine's evaluate closures run on pre-built geometries
+    /// ([`DfCostModel::prepare_stacks`] / [`DfCostModel::evaluate_prepared`])
+    /// instead of re-deriving the partition per point.
+    fn sweep_partition(&self, net: &Network) -> Vec<Stack> {
+        partition_into_stacks(net, self.model.accelerator(), &self.fuse)
     }
 
     /// Unwraps the cost of a record from an unpruned engine run.
@@ -343,11 +339,13 @@ impl<'a> Explorer<'a> {
         self.validate_sweep(net)?;
         let _span = span!("explore.sweep");
         let points = self.design_points(tile_sizes, modes);
+        let stacks = self.sweep_partition(net);
+        let prepared = self.model.prepare_stacks(net, &stacks);
         let engine = SweepEngine::new(self.engine.config().with_pruning(false))
             .with_label(self.engine_label(net));
         let (records, _) = engine.run_collect(
             &points,
-            &self.network_evaluator(net),
+            &|s: &DfStrategy| self.model.evaluate_prepared(&prepared, s),
             &|_, c: &NetworkCost| c.energy_pj,
             None::<&fn(&DfStrategy) -> f64>,
         );
@@ -405,6 +403,8 @@ impl<'a> Explorer<'a> {
         let _span = span!("explore.sweep");
         let acc = self.model.accelerator();
         let points = self.design_points(tile_sizes, modes);
+        let stacks = self.sweep_partition(net);
+        let prepared = self.model.prepare_stacks(net, &stacks);
         let bounds = StrategyBounds::new(net, acc, target);
         let engine = self.engine.clone().with_label(self.engine_label(net));
         // Snapshot so the attached cache statistics describe this run, not
@@ -412,7 +412,7 @@ impl<'a> Explorer<'a> {
         let cache_before = self.model.mapping_cache().stats();
         let stats = engine.run(
             &points,
-            &self.network_evaluator(net),
+            &|s: &DfStrategy| self.model.evaluate_prepared(&prepared, s),
             &|_, c: &NetworkCost| target.value(c, acc),
             Some(&|s: &DfStrategy| bounds.lower_bound(s)),
             on_record,
@@ -441,11 +441,13 @@ impl<'a> Explorer<'a> {
         self.validate_sweep(net)?;
         let acc = self.model.accelerator();
         let points = self.design_points(tile_sizes, modes);
+        let stacks = self.sweep_partition(net);
+        let prepared = self.model.prepare_stacks(net, &stacks);
         let bounds = StrategyBounds::new(net, acc, target);
         let engine = self.engine.clone().with_label(self.engine_label(net));
         let (records, _) = engine.run_collect(
             &points,
-            &self.network_evaluator(net),
+            &|s: &DfStrategy| self.model.evaluate_prepared(&prepared, s),
             &|_, c: &NetworkCost| target.value(c, acc),
             Some(&|s: &DfStrategy| bounds.lower_bound(s)),
         );

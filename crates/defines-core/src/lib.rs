@@ -64,7 +64,7 @@ pub mod strategy;
 pub mod tiling;
 
 pub use bounds::StrategyBounds;
-pub use evaluate::{DfCostModel, EvaluationError};
+pub use evaluate::{DfCostModel, EvaluationError, PreparedNetwork};
 pub use explore::{
     CombinationResult, DfSweepRecord, ExplorationResult, Explorer, OptimizeTarget, ScheduleResult,
     StackChoice,

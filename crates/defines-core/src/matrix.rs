@@ -69,6 +69,12 @@ pub struct MatrixConfig {
     /// Whether the cells use the fast symmetry-pruned temporal-mapping
     /// search (default) or the exhaustive reference scan.
     pub fast_mapper: bool,
+    /// Worker threads each cell's branch-and-bound mapping search may fan
+    /// out to per problem (`1`, the default, keeps it sequential; any value
+    /// produces bit-identical cells). Cells recurring the same canonical
+    /// mapping problem additionally share incumbent bounds through the
+    /// matrix cache, independent of this knob.
+    pub search_threads: usize,
 }
 
 impl Default for MatrixConfig {
@@ -77,6 +83,7 @@ impl Default for MatrixConfig {
             engine: EngineConfig::parallel(),
             cache: MappingCache::new(),
             fast_mapper: true,
+            search_threads: 1,
         }
     }
 }
@@ -476,11 +483,14 @@ pub fn run_matrix(
         .iter()
         .map(|acc| {
             let model = DfCostModel::new(acc).with_shared_cache(config.cache.clone());
-            if config.fast_mapper {
+            let model = if config.fast_mapper {
                 model.with_fast_mapper()
             } else {
                 model
-            }
+            };
+            // After the mapper choice: `with_fast_mapper` replaces the whole
+            // mapper configuration, thread count included.
+            model.with_search_threads(config.search_threads)
         })
         .collect();
 

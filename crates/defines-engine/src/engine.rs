@@ -474,6 +474,10 @@ impl SweepEngine {
                 let queue = &queue;
                 let best_bits = &best_bits;
                 scope.spawn(move || {
+                    // Bound first so it drops last: flushes this worker's
+                    // span buffer before the scope owner can resume and
+                    // drain (the exit-time flush alone races with `scope`).
+                    let _flush = defines_telemetry::flush_on_exit();
                     let _worker_span = span!("engine.worker", worker = worker);
                     loop {
                         let index = queue.fetch_add(1, Ordering::Relaxed);

@@ -13,10 +13,13 @@
 use crate::cost::LayerCost;
 use crate::loma::LomaMapper;
 use crate::problem::{OperandTopLevels, SingleLayerProblem};
+use crate::search::INCUMBENT_EMPTY;
 use defines_engine::{CacheStats, MemoCache};
 use defines_telemetry::{span, Counter};
 use defines_workload::{LayerDims, OpType};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
 
 /// Mapping-cache lookups served from an existing entry.
 static CACHE_HITS: Counter = Counter::new("mapping.cache.hits");
@@ -146,6 +149,17 @@ impl ProblemKey {
 #[derive(Debug, Clone, Default)]
 pub struct MappingCache {
     inner: Arc<MemoCache<ProblemKey, Arc<LayerCost>>>,
+    /// One shared incumbent cell per canonical key (see
+    /// [`crate::search`]'s incumbent encoding). [`MemoCache`] deliberately
+    /// does not hold its lock while computing a missed entry, so two threads
+    /// (e.g. two matrix cells recurring the same canonical sub-problem) can
+    /// search the same key concurrently — handing both the same cell lets
+    /// whichever pulls ahead tighten the other's branch-and-bound pruning.
+    /// Every published value is the exact cost of a fully evaluated
+    /// ordering of the *same* canonical problem, so results stay
+    /// bit-identical (the cache contract already requires canonical twins
+    /// to produce identical costs).
+    incumbents: Arc<Mutex<HashMap<ProblemKey, Arc<AtomicU64>>>>,
 }
 
 impl MappingCache {
@@ -181,9 +195,17 @@ impl MappingCache {
         mapper: &LomaMapper,
         problem: &SingleLayerProblem<'_>,
     ) -> Arc<LayerCost> {
-        let (cost, hit) = self.inner.get_or_insert_with_meta(key, || {
+        let incumbents = &self.incumbents;
+        let (cost, hit) = self.inner.get_or_insert_with_meta(key.clone(), || {
             let _span = span!("mapping.search");
-            Arc::new(mapper.optimize(problem))
+            let cell = Arc::clone(
+                incumbents
+                    .lock()
+                    .unwrap()
+                    .entry(key)
+                    .or_insert_with(|| Arc::new(AtomicU64::new(INCUMBENT_EMPTY))),
+            );
+            Arc::new(mapper.optimize_with_incumbent(problem, &cell))
         });
         if hit {
             CACHE_HITS.incr();
@@ -202,9 +224,11 @@ impl MappingCache {
         self.inner.stats()
     }
 
-    /// Drops all entries and resets the statistics.
+    /// Drops all entries (including the per-key incumbent cells) and resets
+    /// the statistics.
     pub fn clear(&self) {
-        self.inner.clear()
+        self.inner.clear();
+        self.incumbents.lock().unwrap().clear();
     }
 }
 

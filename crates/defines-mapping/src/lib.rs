@@ -41,6 +41,7 @@ pub mod allocation;
 pub mod cache;
 pub mod cost;
 pub mod loma;
+mod pool;
 pub mod problem;
 pub mod search;
 pub mod temporal;

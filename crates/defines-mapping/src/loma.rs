@@ -15,11 +15,12 @@
 
 use crate::cost::{evaluate, LayerCost, Objective};
 use crate::problem::SingleLayerProblem;
-use crate::search::{search, SearchStats};
+use crate::search::{search, search_with_incumbent, SearchStats};
 use crate::temporal::{candidate_orderings, TemporalMapping};
 use defines_telemetry::Counter;
 use defines_workload::Dim;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::AtomicU64;
 
 /// Loop orderings fully evaluated by the branch-and-bound search.
 static ORDERINGS_EVALUATED: Counter = Counter::new("search.orderings_evaluated");
@@ -36,6 +37,12 @@ pub struct MapperConfig {
     /// Maximum number of loop orderings evaluated per problem (`0` means
     /// unlimited, i.e. all permutations).
     pub max_orderings: usize,
+    /// Worker threads the branch-and-bound search may fan out to (work units
+    /// are prefix subtrees of the permutation tree; see [`crate::search`]).
+    /// `1` (the default) keeps the search fully sequential. Any value
+    /// produces bit-identical results — the parallel reduction resolves ties
+    /// by the sequential search's own lexicographic rank.
+    pub search_threads: usize,
 }
 
 impl Default for MapperConfig {
@@ -43,6 +50,7 @@ impl Default for MapperConfig {
         Self {
             objective: Objective::Energy,
             max_orderings: 720,
+            search_threads: 1,
         }
     }
 }
@@ -56,12 +64,20 @@ impl MapperConfig {
         Self {
             objective: Objective::Energy,
             max_orderings: 48,
+            search_threads: 1,
         }
     }
 
     /// Returns a copy with a different objective.
     pub fn with_objective(mut self, objective: Objective) -> Self {
         self.objective = objective;
+        self
+    }
+
+    /// Returns a copy with a different search-thread count (`0` is treated
+    /// as `1`).
+    pub fn with_search_threads(mut self, threads: usize) -> Self {
+        self.search_threads = threads.max(1);
         self
     }
 }
@@ -92,6 +108,8 @@ impl LomaMapper {
         let mut h = DefaultHasher::new();
         (self.config.objective as u64).hash(&mut h);
         self.config.max_orderings.hash(&mut h);
+        // `search_threads` is deliberately NOT hashed: the thread count does
+        // not change results, so cache entries are shared across it.
         h.finish()
     }
 
@@ -117,6 +135,25 @@ impl LomaMapper {
         problem: &SingleLayerProblem<'_>,
     ) -> (LayerCost, SearchStats) {
         search(problem, &self.config)
+    }
+
+    /// Like [`LomaMapper::optimize`], additionally pruning against (and
+    /// publishing into) a shared incumbent cell — the bit pattern of the best
+    /// objective value any search of a *canonically equivalent* problem has
+    /// fully evaluated so far. [`MappingCache`](crate::MappingCache) hands
+    /// the same cell to concurrent searches that race on one canonical key,
+    /// so whichever pulls ahead tightens the other's bound. Results are
+    /// bit-identical with or without the cell (see [`crate::search`]).
+    pub fn optimize_with_incumbent(
+        &self,
+        problem: &SingleLayerProblem<'_>,
+        incumbent: &AtomicU64,
+    ) -> LayerCost {
+        let (cost, stats) = search_with_incumbent(problem, &self.config, Some(incumbent));
+        ORDERINGS_EVALUATED.add(stats.evaluated);
+        PRUNED_BOUND.add(stats.pruned_bound);
+        PRUNED_SYMMETRY.add(stats.pruned_symmetry);
+        cost
     }
 
     /// The reference implementation of [`LomaMapper::optimize`]: a plain scan

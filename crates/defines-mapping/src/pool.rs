@@ -1,0 +1,448 @@
+//! The work-stealing thread pool behind the parallel branch-and-bound
+//! mapping search.
+//!
+//! One global pool of lazily-spawned worker threads serves every search in
+//! the process. A search that wants to go parallel
+//! ([`run_parallel`]) splits its permutation tree into prefix-subtree
+//! [`Unit`]s, seeds them round-robin into one fixed-capacity
+//! [`crossbeam_deque::Worker`] per participant (all pushes happen before the
+//! job is published — the vendored deque's single-phase contract), and posts
+//! the job. Parked workers wake, claim a deque each, and drain: LIFO pops
+//! from their own deque, FIFO steals from everyone else's once it runs dry.
+//! The owner thread participates symmetrically on deque 0, so on a machine
+//! with fewer cores than requested threads the search degrades gracefully to
+//! the sequential walk plus some deque overhead — never a stall waiting for
+//! workers that cannot run.
+//!
+//! # Why the result is deterministic
+//!
+//! Workers never share mutable search state. Each carries a private
+//! [`WorkerState`] (best candidate, [`SearchStats`] counters) and the only
+//! cross-thread communication is the monotone incumbent cell inside the
+//! search context — always the exact cost of some fully evaluated ordering,
+//! so pruning against it never drops an optimal-value leaf. The owner merges
+//! the deposited per-worker results with [`Best::beats`], a strict total
+//! order ending in the unique lexicographic leaf rank, so the winning
+//! ordering is independent of which worker found it first. Only the
+//! `evaluated` / `pruned_bound` *split* of the stats may vary with timing;
+//! their sum is exact at any thread count.
+//!
+//! # Lifetime safety of the shared context
+//!
+//! The job carries a type-erased pointer to the owner's stack-allocated
+//! [`SearchCtx`]. The owner returns from [`run_parallel`] only once every
+//! unit has been processed (`units_done == total`) *and* every claimed deque
+//! has been deposited (`finished + unclaimed == participants`). A worker
+//! dereferences the context only between obtaining a unit and marking it
+//! done — a window in which the owner provably cannot have returned — and a
+//! worker that claims a deque must deposit before the owner's exit condition
+//! can hold. Late workers that find nothing left to claim never touch the
+//! pointer.
+//!
+//! # Telemetry
+//!
+//! * `search.subtrees` — work units generated for parallel jobs.
+//! * `search.steals` — units taken from another participant's deque.
+//! * `search.bound_broadcasts` — successful lowerings of a shared incumbent
+//!   cell (counted in [`crate::search`] for the sequential cross-cache path
+//!   too, so the counter covers every incumbent publication).
+
+use crate::search::{Best, SearchCtx, SearchStats, Unit, WorkerState};
+use crossbeam_deque::{Steal, Stealer, Worker};
+use defines_telemetry::Counter;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Prefix-subtree work units generated for parallel search jobs.
+pub(crate) static SUBTREES: Counter = Counter::new("search.subtrees");
+/// Work units a participant took from another participant's deque.
+pub(crate) static STEALS: Counter = Counter::new("search.steals");
+/// Successful lowerings of a shared incumbent cell.
+pub(crate) static BOUND_BROADCASTS: Counter = Counter::new("search.bound_broadcasts");
+
+/// How many units to aim for per requested thread (over-decomposition keeps
+/// the stealers busy when subtree costs are skewed), and the cap that keeps
+/// unit generation O(small).
+const UNITS_PER_THREAD: usize = 4;
+const MAX_UNITS: usize = 64;
+
+/// Type-erased pointer to the owner's stack-allocated [`SearchCtx`]. See the
+/// module docs for the protocol that keeps dereferences inside the owner's
+/// lifetime.
+struct CtxPtr(*const SearchCtx<'static, 'static>);
+// SAFETY: the pointee is a `SearchCtx`, which is `Sync` (asserted in
+// `run_parallel`), and the deref protocol above confines accesses to the
+// owner's stack frame lifetime.
+unsafe impl Send for CtxPtr {}
+unsafe impl Sync for CtxPtr {}
+
+/// Claim/progress state of one job, behind the job's mutex.
+struct Progress {
+    /// Unclaimed participant deques (index, owner handle). The posting
+    /// thread keeps deque 0 for itself; workers take one each.
+    deques: Vec<Option<(usize, Worker<Unit>)>>,
+    /// How many entries of `deques` are still `Some`.
+    unclaimed: usize,
+    /// Units fully processed so far (incremented *after* processing).
+    units_done: usize,
+    /// Workers that claimed a deque and have deposited their results.
+    finished: usize,
+    /// Deposited per-worker results: (best, stats, steals, broadcasts).
+    results: Vec<(Option<Best>, SearchStats, u64, u64)>,
+}
+
+/// One posted parallel search job.
+struct Job {
+    ctx: CtxPtr,
+    /// Stealer handles of every participant deque, indexed like `deques`.
+    stealers: Vec<Stealer<Unit>>,
+    total_units: usize,
+    progress: Mutex<Progress>,
+    /// Signalled on unit completion and worker deposit; the owner waits here.
+    done_cv: Condvar,
+}
+
+impl Job {
+    fn mark_unit_done(&self) {
+        let mut p = self.progress.lock().unwrap();
+        p.units_done += 1;
+        if p.units_done == self.total_units {
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// The global pool: the currently posted job (at most one at a time) and the
+/// parked worker threads.
+struct Pool {
+    shared: Mutex<PoolShared>,
+    work_cv: Condvar,
+}
+
+struct PoolShared {
+    job: Option<Arc<Job>>,
+    /// Bumped per posted job so a worker never re-enters a job it already
+    /// visited.
+    epoch: u64,
+    /// Worker threads spawned so far.
+    workers: usize,
+    /// Whether a job is currently posted (searches arriving meanwhile fall
+    /// back to their sequential walk instead of queueing).
+    busy: bool,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        shared: Mutex::new(PoolShared {
+            job: None,
+            epoch: 0,
+            workers: 0,
+            busy: false,
+        }),
+        work_cv: Condvar::new(),
+    })
+}
+
+fn require_sync<T: Sync>(_: &T) {}
+
+/// Runs `ctx`'s search as a parallel job on up to `threads` participants
+/// (the calling thread plus pool workers), merging everything into
+/// `owner_state`. Returns `false` — with `owner_state` untouched — when the
+/// job is not worth or not able to go parallel (too few units, or another
+/// parallel job is already running); the caller then does the sequential
+/// walk.
+pub(crate) fn run_parallel(
+    ctx: &SearchCtx<'_, '_>,
+    owner_state: &mut WorkerState,
+    threads: usize,
+) -> bool {
+    require_sync(ctx);
+    let target = (UNITS_PER_THREAD * threads).min(MAX_UNITS);
+    let (units, gen_pruned_symmetry) = ctx.collect_units(target);
+    if units.len() < 2 {
+        return false;
+    }
+    let participants = threads.min(units.len());
+
+    let pool = pool();
+    {
+        let mut shared = pool.shared.lock().unwrap();
+        if shared.busy {
+            return false;
+        }
+        shared.busy = true;
+        while shared.workers < participants - 1 {
+            shared.workers += 1;
+            std::thread::Builder::new()
+                .name("defines-search".into())
+                .spawn(worker_loop)
+                .expect("spawning search worker");
+        }
+    }
+
+    // Seed the deques round-robin. All pushes happen before the job is
+    // published, honouring the vendored deque's single-phase contract.
+    let deques: Vec<Worker<Unit>> = (0..participants)
+        .map(|_| Worker::with_capacity(units.len()))
+        .collect();
+    for (i, unit) in units.iter().enumerate() {
+        deques[i % participants]
+            .push(*unit)
+            .expect("deque sized for all units");
+    }
+    let stealers: Vec<Stealer<Unit>> = deques.iter().map(|d| d.stealer()).collect();
+    let mut deques = deques.into_iter();
+    let own = deques.next().expect("participants >= 2");
+    let worker_deques: Vec<Option<(usize, Worker<Unit>)>> =
+        deques.enumerate().map(|(i, d)| Some((i + 1, d))).collect();
+
+    let job = Arc::new(Job {
+        ctx: CtxPtr(std::ptr::from_ref(ctx).cast::<SearchCtx<'static, 'static>>()),
+        stealers,
+        total_units: units.len(),
+        progress: Mutex::new(Progress {
+            unclaimed: worker_deques.len(),
+            deques: worker_deques,
+            units_done: 0,
+            finished: 0,
+            results: Vec::new(),
+        }),
+        done_cv: Condvar::new(),
+    });
+    let expected_deposits = participants - 1;
+    {
+        let mut shared = pool.shared.lock().unwrap();
+        shared.job = Some(Arc::clone(&job));
+        shared.epoch += 1;
+        pool.work_cv.notify_all();
+    }
+
+    // The job is committed: charge the orderings symmetry-pruned during unit
+    // generation (the walks below start at the split depth and never revisit
+    // the shallow levels).
+    owner_state.stats.pruned_symmetry += gen_pruned_symmetry;
+
+    // Participate: drain own deque, then steal.
+    let mut owner_steals = 0u64;
+    drain(ctx, owner_state, &own, 0, &job, &mut owner_steals);
+
+    // Wait for every unit to be processed and every claimed deque deposited.
+    {
+        let mut p = job.progress.lock().unwrap();
+        while p.units_done < job.total_units || p.finished + p.unclaimed < expected_deposits {
+            p = job.done_cv.wait(p).unwrap();
+        }
+    }
+
+    // Unpost the job before merging so the pool frees up immediately.
+    {
+        let mut shared = pool.shared.lock().unwrap();
+        shared.job = None;
+        shared.busy = false;
+    }
+
+    // Deterministic reduction: strict total order ending in the unique
+    // lexicographic rank — merge order cannot matter.
+    let mut total_steals = owner_steals;
+    let results = std::mem::take(&mut job.progress.lock().unwrap().results);
+    for (best, stats, steals, broadcasts) in results {
+        owner_state.stats.accumulate(&stats);
+        total_steals += steals;
+        owner_state.broadcasts += broadcasts;
+        if let Some(b) = best {
+            let wins = match &owner_state.best {
+                None => true,
+                Some(current) => b.beats(current),
+            };
+            if wins {
+                owner_state.best = Some(b);
+            }
+        }
+    }
+    SUBTREES.add(units.len() as u64);
+    STEALS.add(total_steals);
+    true
+}
+
+/// Processes units until none are left anywhere: LIFO pops from `own`,
+/// then FIFO steals from every *other* participant's deque.
+fn drain(
+    ctx: &SearchCtx<'_, '_>,
+    state: &mut WorkerState,
+    own: &Worker<Unit>,
+    own_index: usize,
+    job: &Job,
+    steals: &mut u64,
+) {
+    loop {
+        let unit = own.pop().or_else(|| steal_any(job, own_index, steals));
+        let Some(unit) = unit else { break };
+        ctx.process_unit(state, &unit);
+        job.mark_unit_done();
+    }
+}
+
+/// One full steal sweep over every *other* participant's deque, retrying as
+/// long as any attempt reports a lost race ([`Steal::Retry`]). Returns
+/// `None` only after a complete pass in which every deque was empty.
+fn steal_any(job: &Job, own_index: usize, steals: &mut u64) -> Option<Unit> {
+    let n = job.stealers.len();
+    loop {
+        let mut saw_retry = false;
+        for v in 0..n {
+            if v == own_index {
+                continue;
+            }
+            match job.stealers[v].steal() {
+                Steal::Success(u) => {
+                    *steals += 1;
+                    return Some(u);
+                }
+                Steal::Retry => saw_retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !saw_retry {
+            return None;
+        }
+    }
+}
+
+/// The body of one pool worker thread: park until a job is posted, claim a
+/// deque, drain, deposit, repeat. Threads are never joined — they park on
+/// the condvar between jobs and die with the process.
+fn worker_loop() {
+    let pool = pool();
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut shared = pool.shared.lock().unwrap();
+            loop {
+                if shared.epoch != last_epoch {
+                    if let Some(job) = shared.job.clone() {
+                        last_epoch = shared.epoch;
+                        break job;
+                    }
+                    // The job of this epoch already completed while we slept.
+                    last_epoch = shared.epoch;
+                }
+                shared = pool.work_cv.wait(shared).unwrap();
+            }
+        };
+        let claimed = {
+            let mut p = job.progress.lock().unwrap();
+            if p.unclaimed == 0 {
+                None
+            } else {
+                p.unclaimed -= 1;
+                let slot = p
+                    .deques
+                    .iter_mut()
+                    .find(|d| d.is_some())
+                    .expect("unclaimed > 0 implies a free deque");
+                slot.take()
+            }
+        };
+        let Some((own_index, own)) = claimed else {
+            continue;
+        };
+        // Having claimed a deque, this thread MUST deposit below — the
+        // owner's exit condition counts on it. The context stays alive at
+        // least until then (module docs).
+        let mut state: Option<WorkerState> = None;
+        let mut steals = 0u64;
+        loop {
+            let unit = own
+                .pop()
+                .or_else(|| steal_any(&job, own_index, &mut steals));
+            let Some(unit) = unit else { break };
+            // SAFETY: a unit was obtained, so `units_done < total` held at
+            // the pop/steal and the owner cannot return before this unit is
+            // marked done — the context outlives this dereference window.
+            let ctx: &SearchCtx<'_, '_> = unsafe { &*job.ctx.0 };
+            let st = state.get_or_insert_with(|| WorkerState::fresh(ctx));
+            ctx.process_unit(st, &unit);
+            job.mark_unit_done();
+        }
+        let mut p = job.progress.lock().unwrap();
+        p.finished += 1;
+        if let Some(st) = state {
+            p.results.push((st.best, st.stats, steals, st.broadcasts));
+        }
+        job.done_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::search::SearchStats;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    /// Demonstrates why the parallel search keeps *per-worker* stats merged
+    /// at the end instead of one shared mutable counter: an unsynchronized
+    /// read-modify-write on shared state loses updates. The barrier forces
+    /// every worker to read the counter before any worker writes it back, so
+    /// every round deterministically loses all but one increment — the data
+    /// race the old single-`SearchStats` design would have been exposed to.
+    #[test]
+    fn shared_counter_loses_updates_but_merged_worker_stats_do_not() {
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 64;
+
+        // The broken design: one shared counter, updated with a plain
+        // load-then-store (what `stats.evaluated += 1` compiles to when the
+        // stats struct is naively shared).
+        let shared = AtomicU64::new(0);
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..ROUNDS {
+                        let seen = shared.load(Ordering::SeqCst);
+                        // Everyone has read the same value before anyone
+                        // stores: the race is now guaranteed, not timing-
+                        // dependent.
+                        barrier.wait();
+                        shared.store(seen + 1, Ordering::SeqCst);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        let expected = (THREADS * ROUNDS) as u64;
+        assert_eq!(
+            shared.load(Ordering::SeqCst),
+            ROUNDS as u64,
+            "each round keeps exactly one of {THREADS} increments"
+        );
+        assert!(
+            shared.load(Ordering::SeqCst) < expected,
+            "updates were lost"
+        );
+
+        // The adopted design: every worker owns its `SearchStats` and the
+        // owner merges them after the job — no shared mutation, no race,
+        // exact accounting.
+        let merged = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = SearchStats::default();
+                        for _ in 0..ROUNDS {
+                            local.evaluated += 1;
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut merged = SearchStats::default();
+            for worker in workers {
+                merged.accumulate(&worker.join().expect("worker panicked"));
+            }
+            merged
+        });
+        assert_eq!(merged.evaluated, expected, "merged stats are exact");
+    }
+}

@@ -27,6 +27,21 @@
 //!   true cost, term-wise dominated by it, so `bound > best` proves the whole
 //!   subtree is strictly worse and it is skipped. Strictness preserves the
 //!   exhaustive scan's tie-breaking.
+//! * **Work-stealing parallelism** — with
+//!   [`MapperConfig::search_threads`](crate::MapperConfig) > 1 the
+//!   permutation tree is split into prefix-subtree work units dispatched over
+//!   the `pool` module's deque pool. All workers prune against one shared
+//!   incumbent (an `AtomicU64` holding the best cost's bit pattern:
+//!   non-negative finite f64 bits order like the floats, so a CAS min-loop
+//!   implements "publish if better"). The incumbent is always the exact value
+//!   of some fully evaluated ordering, hence `>=` the optimum, so strict
+//!   `bound > incumbent` pruning can never eliminate an optimal-value leaf —
+//!   every worker therefore evaluates the complete optimal tie set, and the
+//!   reduction's arg-min over (value, energy, latency, lexicographic rank)
+//!   is independent of scheduling. The rank is the leaf's index in the full
+//!   lexicographic enumeration, which is exactly the sequential search's
+//!   first-encountered tie-break, so the winning ordering is bit-identical
+//!   at any thread count.
 //!
 //! The scalar kernel behind both the bound and the leaf evaluation is
 //! allocation-free: it works on fixed-size arrays indexed by memory level and
@@ -38,24 +53,34 @@
 use crate::allocation::{sharers, usable_levels};
 use crate::cost::{evaluate, LayerCost, Objective};
 use crate::loma::MapperConfig;
+use crate::pool;
 use crate::problem::SingleLayerProblem;
 use crate::temporal::{active_loops, TemporalMapping};
 use defines_arch::Operand;
 use defines_workload::{Dim, OpType};
 use serde::{Serialize, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Maximum number of temporal loops a problem can have (the six non-batch
 /// dimensions; batch is never temporal in this model).
-const MAX_LOOPS: usize = 6;
+pub(crate) const MAX_LOOPS: usize = 6;
 /// Maximum number of memory levels on one operand's path.
 const MAX_LEVELS: usize = 8;
+/// Minimum candidate count before the parallel path is worth dispatching;
+/// below it the sequential walk wins on sheer setup cost.
+const PARALLEL_MIN_ORDERINGS: u64 = 8;
 
 /// Counters describing one temporal-mapping search
 /// ([`LomaMapper::optimize_with_stats`](crate::LomaMapper::optimize_with_stats)).
 ///
 /// `evaluated + pruned_bound + pruned_symmetry == orderings_selected` always
 /// holds: every candidate ordering is either fully evaluated or attributed to
-/// exactly one pruning mechanism.
+/// exactly one pruning mechanism. On the parallel path each worker counts
+/// into its own private `SearchStats` and the owner merges them with
+/// [`SearchStats::accumulate`] after the join — counters are never shared
+/// mutable state, so the invariant survives any interleaving (the
+/// *split* between `evaluated` and `pruned_bound` may legitimately vary with
+/// thread count and incumbent timing; the sum may not).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SearchStats {
     /// Loop dimensions with a non-trivial temporal trip count.
@@ -116,12 +141,54 @@ impl Serialize for SearchStats {
     }
 }
 
+/// Lowers `cell` (f64 bit pattern, non-negative finite or `+inf`) to `value`
+/// if `value` is smaller, via a CAS min-loop. Returns whether the cell was
+/// actually lowered. Non-negative finite f64 bit patterns order like the
+/// floats themselves, so the u64 comparison is exact.
+pub(crate) fn atomic_f64_min(cell: &AtomicU64, value: f64) -> bool {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        if f64::from_bits(current) <= value {
+            return false;
+        }
+        match cell.compare_exchange_weak(
+            current,
+            value.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return true,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+/// The bit pattern a fresh incumbent cell starts from (`+inf`: everything
+/// published beats it).
+pub(crate) const INCUMBENT_EMPTY: u64 = f64::INFINITY.to_bits();
+
 /// Entry point: finds the best temporal mapping of a problem under the given
 /// mapper configuration, returning the (bit-identical-to-exhaustive) cost and
 /// the search counters.
 pub(crate) fn search(
     problem: &SingleLayerProblem<'_>,
     config: &MapperConfig,
+) -> (LayerCost, SearchStats) {
+    search_with_incumbent(problem, config, None)
+}
+
+/// [`search`], additionally pruning against (and publishing into) a shared
+/// incumbent cell. The cell may be pre-populated by an earlier search of a
+/// *canonically equivalent* problem (same [`crate::ProblemKey::canonical`]
+/// key, hence bit-identical per-ordering costs): any published value is the
+/// exact cost of some fully evaluated candidate ordering, so it is `>=` this
+/// search's optimum and strict bound pruning against it never drops an
+/// optimal-value leaf — the result stays bit-identical, only `pruned_bound`
+/// can grow.
+pub(crate) fn search_with_incumbent(
+    problem: &SingleLayerProblem<'_>,
+    config: &MapperConfig,
+    incumbent: Option<&AtomicU64>,
 ) -> (LayerCost, SearchStats) {
     let loops = active_loops(problem);
     let k = loops.len();
@@ -147,25 +214,39 @@ pub(crate) fn search(
     stats.orderings_total = total;
     stats.orderings_selected = if sample { max } else { total };
 
-    let mut searcher = Searcher::new(problem, config.objective, &loops, sample, max);
-    searcher.stats = stats;
-    let states = [AllocState::default(); 3];
-    searcher.descend(0, 0, &states);
+    let threads = config.search_threads.max(1);
+    let try_parallel = threads > 1 && k >= 2 && stats.orderings_selected >= PARALLEL_MIN_ORDERINGS;
+    // The parallel path always needs a shared cell for the workers, even
+    // when no cross-search cell was handed in.
+    let local_cell = AtomicU64::new(INCUMBENT_EMPTY);
+    let incumbent = match (incumbent, try_parallel) {
+        (None, true) => Some(&local_cell),
+        (cell, _) => cell,
+    };
 
-    let stats = searcher.stats;
+    let ctx = SearchCtx::new(problem, config.objective, &loops, sample, max, incumbent);
+    let mut state = WorkerState::fresh(&ctx);
+    state.stats = stats;
+
+    let ran_parallel = try_parallel && pool::run_parallel(&ctx, &mut state, threads);
+    if !ran_parallel {
+        let states = [AllocState::default(); 3];
+        ctx.descend(&mut state, 0, 0, &states);
+    }
+    pool::BOUND_BROADCASTS.add(state.broadcasts);
+
+    let stats = state.stats;
     debug_assert_eq!(
         stats.evaluated + stats.pruned_bound + stats.pruned_symmetry,
         stats.orderings_selected
     );
-    let order = searcher.best_order();
+    let best = state.best.expect("at least one ordering evaluated");
+    let order = best.order[..best.order_len].to_vec();
     let mapping = TemporalMapping::from_order(problem, &order);
     let cost = evaluate(problem, &mapping);
     debug_assert_eq!(
         cost.objective_value(config.objective, problem.accelerator.hierarchy().dram_id()),
-        searcher
-            .best
-            .expect("at least one ordering evaluated")
-            .value,
+        best.value,
         "scalar search kernel diverged from the full cost model"
     );
     (cost, stats)
@@ -228,15 +309,43 @@ impl Default for AllocState {
     }
 }
 
-struct Best {
-    value: f64,
+/// The best leaf seen by one worker, with everything the deterministic
+/// reduction needs: ties on (value, energy, latency) resolve by `rank`, the
+/// leaf's index in the full lexicographic enumeration — the same candidate a
+/// sequential first-encountered-wins scan crowns.
+pub(crate) struct Best {
+    pub(crate) value: f64,
     energy: f64,
     latency: f64,
+    rank: u64,
     order_len: usize,
     order: [Dim; MAX_LOOPS],
 }
 
-struct Searcher<'p, 'a> {
+impl Best {
+    /// Whether this candidate beats `other` under the deterministic total
+    /// order (value, then energy, then latency, then lexicographic rank).
+    /// All fields are finite and ranks are unique, so this is a strict total
+    /// order — the reduction's arg-min is independent of merge order.
+    pub(crate) fn beats(&self, other: &Best) -> bool {
+        (self.value, self.energy, self.latency, self.rank)
+            < (other.value, other.energy, other.latency, other.rank)
+    }
+}
+
+/// One parallel work unit: the permutation subtree below a fixed prefix of
+/// active-dimension indices. `leaf_base` is the subtree's first leaf index in
+/// the full lexicographic enumeration, which both seeds the sampling window
+/// and makes every leaf's rank globally consistent across workers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Unit {
+    prefix: [u8; MAX_LOOPS],
+    depth: u8,
+    leaf_base: u64,
+}
+
+/// The immutable, `Sync` context shared by every worker of one search.
+pub(crate) struct SearchCtx<'p, 'a> {
     problem: &'p SingleLayerProblem<'a>,
     objective: Objective,
     /// Active loop dimensions, canonical order.
@@ -269,6 +378,16 @@ struct Searcher<'p, 'a> {
     dram: usize,
     mac_energy: f64,
     compute_cycles: f64,
+    /// The shared incumbent cell: the bit pattern of the best objective value
+    /// published by any worker (or a canonically-equivalent earlier search).
+    incumbent: Option<&'p AtomicU64>,
+}
+
+/// The per-worker mutable walk state: the current prefix, the scratch
+/// traffic accumulators and this worker's private best/stats. Workers never
+/// share one — the reduction merges them after the join, which is what makes
+/// the counters race-free by construction.
+pub(crate) struct WorkerState {
     /// Effective (spatial × temporal-below) size per [`Dim::ALL`] index for
     /// the current prefix, as used by the data-size formulas.
     eff: [u64; 7],
@@ -276,17 +395,35 @@ struct Searcher<'p, 'a> {
     order_buf: [Dim; MAX_LOOPS],
     /// Scratch traffic accumulators, one slot per (level, operand).
     traffic: Vec<[Traffic; 3]>,
-    best: Option<Best>,
-    stats: SearchStats,
+    pub(crate) best: Option<Best>,
+    pub(crate) stats: SearchStats,
+    /// Successful lowerings of the shared incumbent by this worker.
+    pub(crate) broadcasts: u64,
 }
 
-impl<'p, 'a> Searcher<'p, 'a> {
+impl WorkerState {
+    /// A fresh walk state for one worker of `ctx`'s search.
+    pub(crate) fn fresh(ctx: &SearchCtx<'_, '_>) -> Self {
+        Self {
+            eff: ctx.factors,
+            used: 0,
+            order_buf: [Dim::B; MAX_LOOPS],
+            traffic: vec![[Traffic::default(); 3]; ctx.level_read_e.len()],
+            best: None,
+            stats: SearchStats::default(),
+            broadcasts: 0,
+        }
+    }
+}
+
+impl<'p, 'a> SearchCtx<'p, 'a> {
     fn new(
         problem: &'p SingleLayerProblem<'a>,
         objective: Objective,
         loops: &[crate::temporal::TemporalLoop],
         sample: bool,
         max: u64,
+        incumbent: Option<&'p AtomicU64>,
     ) -> Self {
         let unrolling = problem.accelerator.pe_array().unrolling();
         let mut factors = [1u64; 7];
@@ -358,13 +495,12 @@ impl<'p, 'a> Searcher<'p, 'a> {
             });
         }
 
-        let eff = factors;
         let mut trip_by_dim = [1u64; 7];
         for (d, t) in dims.iter().zip(trips.iter()) {
             trip_by_dim[dim_index(*d)] = *t;
         }
 
-        let mut searcher = Self {
+        let mut ctx = Self {
             problem,
             objective,
             pred_mask: vec![0; k],
@@ -381,21 +517,16 @@ impl<'p, 'a> Searcher<'p, 'a> {
             dram: hierarchy.dram_id().0,
             mac_energy: macs as f64 * pe.mac_energy_pj(),
             compute_cycles: pe.compute_cycles(macs, &problem.dims),
-            eff,
-            used: 0,
-            order_buf: [Dim::B; MAX_LOOPS],
-            traffic: vec![[Traffic::default(); 3]; n_levels],
-            best: None,
-            stats: SearchStats::default(),
+            incumbent,
             dims,
             trips,
             factors,
             trip_by_dim,
         };
-        if searcher.symmetry {
-            searcher.compute_symmetry();
+        if ctx.symmetry {
+            ctx.compute_symmetry();
         }
-        searcher
+        ctx
     }
 
     /// Marks, for every active dimension, the earlier interchangeable
@@ -454,9 +585,12 @@ impl<'p, 'a> Searcher<'p, 'a> {
         }
     }
 
-    fn best_order(&self) -> Vec<Dim> {
-        let best = self.best.as_ref().expect("search evaluated an ordering");
-        best.order[..best.order_len].to_vec()
+    /// The current shared-incumbent value, if one has been published.
+    fn incumbent_value(&self) -> Option<f64> {
+        self.incumbent.and_then(|cell| {
+            let v = f64::from_bits(cell.load(Ordering::Relaxed));
+            v.is_finite().then_some(v)
+        })
     }
 
     /// Number of *selected* candidate orderings whose leaf index falls in
@@ -474,12 +608,18 @@ impl<'p, 'a> Searcher<'p, 'a> {
 
     /// Walks the permutation subtree below the current prefix (`depth` loops
     /// placed, leaves covering `[leaf_base, leaf_base + (k - depth)!)`).
-    fn descend(&mut self, depth: usize, leaf_base: u64, states: &[AllocState; 3]) {
+    fn descend(
+        &self,
+        state: &mut WorkerState,
+        depth: usize,
+        leaf_base: u64,
+        states: &[AllocState; 3],
+    ) {
         let k = self.dims.len();
         let sub = self.fact[k - depth - 1];
         let mut branch = 0u64;
         for idx in 0..k {
-            if self.used & (1 << idx) != 0 {
+            if state.used & (1 << idx) != 0 {
                 continue;
             }
             let base = leaf_base + branch * sub;
@@ -488,57 +628,157 @@ impl<'p, 'a> Searcher<'p, 'a> {
             if selected == 0 {
                 continue;
             }
-            if self.symmetry && (self.pred_mask[idx] & self.used) != self.pred_mask[idx] {
-                self.stats.pruned_symmetry += selected;
+            if self.symmetry && (self.pred_mask[idx] & state.used) != self.pred_mask[idx] {
+                state.stats.pruned_symmetry += selected;
                 continue;
             }
             let mut child = *states;
-            self.push(depth, idx, &mut child);
+            self.push(state, depth, idx, &mut child);
             if depth + 1 == k {
-                self.evaluate_leaf(&child);
-                self.pop(idx);
+                self.evaluate_leaf(state, &child, base);
+                self.pop(state, idx);
                 continue;
             }
             // Bounding a subtree with a single candidate costs as much as
             // evaluating that candidate, so only bound where pruning can
-            // amortize.
-            let best_value = self.best.as_ref().map(|b| b.value);
-            if let (Some(best_value), true) = (best_value, selected > 1) {
-                let (bound, _, _) = self.eval_scalars(&child, false);
+            // amortize. The prune reference is the tighter of this worker's
+            // best and the shared incumbent — both are exact evaluated
+            // costs, so both are >= the optimum and strict pruning stays
+            // deterministic.
+            let local = state.best.as_ref().map(|b| b.value);
+            let reference = match (local, self.incumbent_value()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+            if let (Some(best_value), true) = (reference, selected > 1) {
+                let (bound, _, _) = self.eval_scalars(state, &child, false);
                 if bound > best_value {
-                    self.stats.pruned_bound += selected;
-                    self.pop(idx);
+                    state.stats.pruned_bound += selected;
+                    self.pop(state, idx);
                     continue;
                 }
             }
-            self.descend(depth + 1, base, &child);
-            self.pop(idx);
+            self.descend(state, depth + 1, base, &child);
+            self.pop(state, idx);
+        }
+    }
+
+    /// Enumerates the prefix subtrees at the shallowest split depth that
+    /// yields at least `target` work units (bounded by depth `k - 1`),
+    /// applying the same sampling-window and symmetry skips as the walk
+    /// itself. Returns the units plus the number of orderings
+    /// symmetry-pruned at the skipped shallow depths (the caller charges
+    /// them to its stats exactly once).
+    pub(crate) fn collect_units(&self, target: usize) -> (Vec<Unit>, u64) {
+        let k = self.dims.len();
+        let mut units = Vec::new();
+        let mut pruned_symmetry = 0u64;
+        for split in 1..k {
+            units.clear();
+            pruned_symmetry = 0;
+            let mut used = 0u8;
+            let mut prefix = [0u8; MAX_LOOPS];
+            self.units_at(
+                split,
+                0,
+                0,
+                &mut used,
+                &mut prefix,
+                &mut units,
+                &mut pruned_symmetry,
+            );
+            if units.len() >= target || split == k - 1 {
+                break;
+            }
+        }
+        (units, pruned_symmetry)
+    }
+
+    /// Recursive helper of [`SearchCtx::collect_units`]: replays the
+    /// enumeration structure of [`SearchCtx::descend`] (branch order, leaf
+    /// bases, sampling windows, symmetry skips) down to `split`, emitting a
+    /// [`Unit`] per surviving prefix.
+    #[allow(clippy::too_many_arguments)]
+    fn units_at(
+        &self,
+        split: usize,
+        depth: usize,
+        leaf_base: u64,
+        used: &mut u8,
+        prefix: &mut [u8; MAX_LOOPS],
+        out: &mut Vec<Unit>,
+        pruned_symmetry: &mut u64,
+    ) {
+        let k = self.dims.len();
+        let sub = self.fact[k - depth - 1];
+        let mut branch = 0u64;
+        for idx in 0..k {
+            if *used & (1 << idx) != 0 {
+                continue;
+            }
+            let base = leaf_base + branch * sub;
+            branch += 1;
+            let selected = self.selected_in(base, base + sub);
+            if selected == 0 {
+                continue;
+            }
+            if self.symmetry && (self.pred_mask[idx] & *used) != self.pred_mask[idx] {
+                *pruned_symmetry += selected;
+                continue;
+            }
+            prefix[depth] = idx as u8;
+            if depth + 1 == split {
+                out.push(Unit {
+                    prefix: *prefix,
+                    depth: split as u8,
+                    leaf_base: base,
+                });
+                continue;
+            }
+            *used |= 1 << idx;
+            self.units_at(split, depth + 1, base, used, prefix, out, pruned_symmetry);
+            *used &= !(1 << idx);
+        }
+    }
+
+    /// Processes one work unit: replays the unit's prefix pushes to rebuild
+    /// the allocation states, walks the subtree, and pops back down.
+    pub(crate) fn process_unit(&self, state: &mut WorkerState, unit: &Unit) {
+        let depth = unit.depth as usize;
+        let mut states = [AllocState::default(); 3];
+        for (d, &idx) in unit.prefix[..depth].iter().enumerate() {
+            self.push(state, d, idx as usize, &mut states);
+        }
+        self.descend(state, depth, unit.leaf_base, &states);
+        for &idx in unit.prefix[..depth].iter().rev() {
+            self.pop(state, idx as usize);
         }
     }
 
     /// Extends the prefix with active dim `idx` as the new outermost loop,
     /// updating the effective sizes and each operand's allocation state.
-    fn push(&mut self, depth: usize, idx: usize, states: &mut [AllocState]) {
+    fn push(&self, state: &mut WorkerState, depth: usize, idx: usize, states: &mut [AllocState]) {
         let d = self.dims[idx];
         let t = self.trips[idx];
         let di = dim_index(d);
-        self.order_buf[depth] = d;
-        self.used |= 1 << idx;
-        self.eff[di] = self.factors[di] * t;
+        state.order_buf[depth] = d;
+        state.used |= 1 << idx;
+        state.eff[di] = self.factors[di] * t;
 
-        for (op, state) in self.ops.iter().zip(states.iter_mut()) {
+        for (op, alloc) in self.ops.iter().zip(states.iter_mut()) {
             let relevant = op.relevant & (1 << di) != 0;
             // Advance the refetch trackers of the already-closed levels: the
             // new loop sits above every closed boundary.
-            let mut closed = state.closed;
+            let mut closed = alloc.closed;
             while closed != 0 {
                 let lvl = closed.trailing_zeros() as usize;
                 closed &= closed - 1;
                 let bit = 1u8 << lvl;
                 if relevant {
-                    state.seen_relevant |= bit;
-                } else if state.seen_relevant & bit != 0 {
-                    state.factor[lvl] *= t as f64;
+                    alloc.seen_relevant |= bit;
+                } else if alloc.seen_relevant & bit != 0 {
+                    alloc.factor[lvl] *= t as f64;
                 }
             }
             if !op.incremental {
@@ -550,48 +790,53 @@ impl<'p, 'a> Searcher<'p, 'a> {
             let mut size = None;
             for lvl in 0..op.shares.len() {
                 let bit = 1u8 << lvl;
-                if state.closed & bit != 0 {
+                if alloc.closed & bit != 0 {
                     continue;
                 }
-                let size = *size.get_or_insert_with(|| data_size(self.problem, op, &self.eff));
+                let size = *size.get_or_insert_with(|| data_size(self.problem, op, &state.eff));
                 if size > op.shares[lvl] {
-                    state.closed |= bit;
-                    state.factor[lvl] = 1.0;
+                    alloc.closed |= bit;
+                    alloc.factor[lvl] = 1.0;
                     if relevant {
-                        state.seen_relevant |= bit;
+                        alloc.seen_relevant |= bit;
                     }
                 }
             }
         }
     }
 
-    fn pop(&mut self, idx: usize) {
+    fn pop(&self, state: &mut WorkerState, idx: usize) {
         let di = dim_index(self.dims[idx]);
-        self.used &= !(1 << idx);
-        self.eff[di] = self.factors[di];
+        state.used &= !(1 << idx);
+        state.eff[di] = self.factors[di];
     }
 
     /// Evaluates the full ordering described by the current prefix (which now
-    /// covers every active loop) and updates the incumbent best.
-    fn evaluate_leaf(&mut self, states: &[AllocState]) {
-        self.stats.evaluated += 1;
-        let (value, energy, latency) = self.eval_scalars(states, true);
-        let better = match &self.best {
+    /// covers every active loop) and updates this worker's best. `rank` is
+    /// the leaf's index in the full lexicographic enumeration. Improvements
+    /// are published into the shared incumbent, so concurrent workers prune
+    /// against the globally best cost.
+    fn evaluate_leaf(&self, state: &mut WorkerState, states: &[AllocState], rank: u64) {
+        state.stats.evaluated += 1;
+        let (value, energy, latency) = self.eval_scalars(state, states, true);
+        let better = match &state.best {
             None => true,
-            Some(b) => {
-                value < b.value
-                    || (value == b.value && energy < b.energy)
-                    || (value == b.value && energy == b.energy && latency < b.latency)
-            }
+            Some(b) => (value, energy, latency, rank) < (b.value, b.energy, b.latency, b.rank),
         };
         if better {
-            self.best = Some(Best {
+            state.best = Some(Best {
                 value,
                 energy,
                 latency,
+                rank,
                 order_len: self.dims.len(),
-                order: self.order_buf,
+                order: state.order_buf,
             });
+            if let Some(cell) = self.incumbent {
+                if atomic_f64_min(cell, value) {
+                    state.broadcasts += 1;
+                }
+            }
         }
     }
 
@@ -607,17 +852,22 @@ impl<'p, 'a> Searcher<'p, 'a> {
     /// is then dominated by its true counterpart in any completion and the
     /// float accumulation order is identical, so the result is a monotone
     /// lower bound of every completion's true cost.
-    fn eval_scalars(&mut self, states: &[AllocState], exact: bool) -> (f64, f64, f64) {
-        for slot in self.traffic.iter_mut() {
+    fn eval_scalars(
+        &self,
+        state: &mut WorkerState,
+        states: &[AllocState],
+        exact: bool,
+    ) -> (f64, f64, f64) {
+        for slot in state.traffic.iter_mut() {
             *slot = [Traffic::default(); 3];
         }
         let mut exact_factors = [1.0f64; MAX_LEVELS];
-        for (op_idx, (op, state)) in self.ops.iter().zip(states.iter()).enumerate() {
+        for (op_idx, (op, alloc)) in self.ops.iter().zip(states.iter()).enumerate() {
             let o = operand_index(op.operand);
             let innermost = op.levels[0];
-            self.traffic[innermost][o].reads += op.pe_bytes;
+            state.traffic[innermost][o].reads += op.pe_bytes;
             if op.operand == Operand::Output {
-                self.traffic[innermost][o].writes += op.pe_bytes;
+                state.traffic[innermost][o].writes += op.pe_bytes;
             }
             let n_windows = op.levels.len() - 1;
             if n_windows == 0 {
@@ -625,7 +875,7 @@ impl<'p, 'a> Searcher<'p, 'a> {
             }
             let fallback_exact = exact && !op.incremental;
             if fallback_exact {
-                self.exact_refetch_factors(op_idx, &mut exact_factors);
+                self.exact_refetch_factors(state, op_idx, &mut exact_factors);
             }
             // `w` indexes three parallel structures (level pairs, closure
             // bits, exact factors), so a plain range loop is the clear form.
@@ -635,24 +885,24 @@ impl<'p, 'a> Searcher<'p, 'a> {
                 let parent = op.levels[w + 1];
                 let r = if fallback_exact {
                     exact_factors[w]
-                } else if op.incremental && state.closed & (1 << w) != 0 {
-                    state.factor[w]
+                } else if op.incremental && alloc.closed & (1 << w) != 0 {
+                    alloc.factor[w]
                 } else {
                     1.0
                 };
                 match op.operand {
                     Operand::Weight | Operand::Input => {
                         let fills = op.footprint * r;
-                        self.traffic[child][o].writes += fills;
-                        self.traffic[parent][o].reads += fills;
+                        state.traffic[child][o].writes += fills;
+                        state.traffic[parent][o].reads += fills;
                     }
                     Operand::Output => {
                         let up = op.footprint * r;
                         let down = op.footprint * (r - 1.0);
-                        self.traffic[child][o].reads += up;
-                        self.traffic[parent][o].writes += up;
-                        self.traffic[parent][o].reads += down;
-                        self.traffic[child][o].writes += down;
+                        state.traffic[child][o].reads += up;
+                        state.traffic[parent][o].writes += up;
+                        state.traffic[parent][o].reads += down;
+                        state.traffic[child][o].writes += down;
                     }
                 }
             }
@@ -661,7 +911,7 @@ impl<'p, 'a> Searcher<'p, 'a> {
         // Memory energy, iterating (level, operand) slots in the sorted-map
         // order of the cost model. Slots never touched contribute exactly 0.
         let mut memory_energy = 0.0;
-        for (lvl, slots) in self.traffic.iter().enumerate() {
+        for (lvl, slots) in state.traffic.iter().enumerate() {
             for t in slots {
                 memory_energy +=
                     t.reads * self.level_read_e[lvl] + t.writes * self.level_write_e[lvl];
@@ -673,7 +923,7 @@ impl<'p, 'a> Searcher<'p, 'a> {
         let mut latency = self.compute_cycles;
         let mut dram_reads = 0.0;
         let mut dram_writes = 0.0;
-        for (lvl, slots) in self.traffic.iter().enumerate() {
+        for (lvl, slots) in state.traffic.iter().enumerate() {
             let mut reads = 0.0;
             let mut writes = 0.0;
             for t in slots {
@@ -711,7 +961,12 @@ impl<'p, 'a> Searcher<'p, 'a> {
     /// capacity shares are not monotone (where the incremental state may
     /// diverge from the reference greedy). Mirrors
     /// [`crate::allocation::allocate`] exactly.
-    fn exact_refetch_factors(&self, op_idx: usize, factors: &mut [f64; MAX_LEVELS]) {
+    fn exact_refetch_factors(
+        &self,
+        state: &WorkerState,
+        op_idx: usize,
+        factors: &mut [f64; MAX_LEVELS],
+    ) {
         let op = &self.ops[op_idx];
         let k = self.dims.len();
         let mut eff = self.factors;
@@ -719,7 +974,7 @@ impl<'p, 'a> Searcher<'p, 'a> {
         let mut boundaries = [0usize; MAX_LEVELS];
         for (lvl, share) in op.shares.iter().enumerate() {
             while boundary < k {
-                let di = dim_index(self.order_buf[boundary]);
+                let di = dim_index(state.order_buf[boundary]);
                 let saved = eff[di];
                 eff[di] = self.factors[di] * self.trip_by_dim[di];
                 if data_size(self.problem, op, &eff) <= *share {
@@ -735,7 +990,7 @@ impl<'p, 'a> Searcher<'p, 'a> {
             let mut seen_relevant = false;
             let mut factor = 1.0f64;
             for pos in b..k {
-                let di = dim_index(self.order_buf[pos]);
+                let di = dim_index(state.order_buf[pos]);
                 if op.relevant & (1 << di) != 0 {
                     seen_relevant = true;
                 } else if seen_relevant {
@@ -856,6 +1111,7 @@ mod tests {
                 let mapper = LomaMapper::new(MapperConfig {
                     objective: Objective::Energy,
                     max_orderings: max,
+                    search_threads: 1,
                 });
                 let exhaustive = mapper.optimize_exhaustive(&problem);
                 let (pruned, stats) = mapper.optimize_with_stats(&problem);
@@ -921,5 +1177,92 @@ mod tests {
         let (cost, stats) = LomaMapper::default().optimize_with_stats(&problem);
         assert!(stats.pruned_symmetry > 0, "{stats:?}");
         assert_eq!(cost, LomaMapper::default().optimize_exhaustive(&problem));
+    }
+
+    #[test]
+    fn atomic_f64_min_orders_like_floats() {
+        let cell = AtomicU64::new(INCUMBENT_EMPTY);
+        assert!(atomic_f64_min(&cell, 5.0));
+        assert!(!atomic_f64_min(&cell, 5.0));
+        assert!(!atomic_f64_min(&cell, 7.25));
+        assert!(atomic_f64_min(&cell, 0.5));
+        assert!(atomic_f64_min(&cell, 0.0));
+        assert!(!atomic_f64_min(&cell, 1e300));
+        assert_eq!(f64::from_bits(cell.load(Ordering::Relaxed)), 0.0);
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential_at_every_thread_count() {
+        for (acc, layer) in problems() {
+            let problem = SingleLayerProblem::new(&acc, &layer);
+            let sequential = LomaMapper::default();
+            let (seq_cost, seq_stats) = sequential.optimize_with_stats(&problem);
+            for threads in [2, 4, 8] {
+                let mapper = LomaMapper::new(MapperConfig {
+                    search_threads: threads,
+                    ..MapperConfig::default()
+                });
+                let (cost, stats) = mapper.optimize_with_stats(&problem);
+                assert_eq!(
+                    cost,
+                    seq_cost,
+                    "{} / {} at {threads} threads",
+                    acc.name(),
+                    layer.name
+                );
+                assert_eq!(
+                    stats.evaluated + stats.pruned_bound + stats.pruned_symmetry,
+                    stats.orderings_selected,
+                    "stats invariant at {threads} threads: {stats:?}"
+                );
+                assert_eq!(stats.orderings_selected, seq_stats.orderings_selected);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_generation_covers_the_selected_space_exactly() {
+        let acc = zoo::meta_proto_like_df();
+        let layer = Layer::new("c", OpType::Conv, LayerDims::conv(64, 32, 28, 28, 3, 3));
+        let problem = SingleLayerProblem::new(&acc, &layer);
+        let loops = active_loops(&problem);
+        let ctx = SearchCtx::new(&problem, Objective::Energy, &loops, false, u64::MAX, None);
+        for target in [2, 8, 32, 64] {
+            let (units, pruned_symmetry) = ctx.collect_units(target);
+            // Every unit's subtree plus the symmetry-skipped shallow
+            // subtrees partition the selected candidate set.
+            let covered: u64 = units
+                .iter()
+                .map(|u| {
+                    let sub = ctx.fact[loops.len() - u.depth as usize];
+                    ctx.selected_in(u.leaf_base, u.leaf_base + sub)
+                })
+                .sum();
+            assert_eq!(covered + pruned_symmetry, 720, "target={target}");
+        }
+    }
+
+    #[test]
+    fn cross_search_incumbent_does_not_change_the_result() {
+        // Pre-seeding the incumbent with the known optimum (what a canonical
+        // twin search would have published) must not change the returned
+        // cost — only the pruning counters.
+        for (acc, layer) in problems() {
+            let problem = SingleLayerProblem::new(&acc, &layer);
+            let config = MapperConfig::default();
+            let (reference, ref_stats) = search(&problem, &config);
+            let optimum = reference.objective_value(config.objective, acc.hierarchy().dram_id());
+            let cell = AtomicU64::new(optimum.to_bits());
+            let (seeded, stats) = search_with_incumbent(&problem, &config, Some(&cell));
+            assert_eq!(seeded, reference, "{}", acc.name());
+            assert_eq!(
+                stats.evaluated + stats.pruned_bound + stats.pruned_symmetry,
+                stats.orderings_selected
+            );
+            assert!(
+                stats.evaluated <= ref_stats.evaluated,
+                "a seeded incumbent can only tighten pruning"
+            );
+        }
     }
 }

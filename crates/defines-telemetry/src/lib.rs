@@ -58,7 +58,10 @@ pub mod span;
 
 pub use export::{chrome_trace, PhaseBreakdown, PhaseRow};
 pub use metrics::{snapshot, Counter, Gauge, MetricKind, MetricsSnapshot};
-pub use span::{clear_events, drain_events, SpanEvent, SpanGuard};
+pub use span::{
+    clear_events, drain_events, flush_on_exit, flush_thread_spans, SpanEvent, SpanFlushGuard,
+    SpanGuard,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

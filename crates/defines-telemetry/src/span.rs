@@ -148,13 +148,43 @@ impl Drop for SpanGuard {
     }
 }
 
+/// Flushes the calling thread's span buffer into the global sink.
+///
+/// Worker threads that record spans should flush before signalling
+/// completion: relying on the thread-exit flush alone is racy under
+/// [`std::thread::scope`], which unparks the scope owner when the closure
+/// returns — *before* the thread-local destructors run — so a drain right
+/// after the scope can miss a buffer still in flight. Prefer the RAII form
+/// [`flush_on_exit`], which survives early `return`s.
+pub fn flush_thread_spans() {
+    BUFFER.with(|buffer| buffer.borrow_mut().flush());
+}
+
+/// RAII flush for worker closures: the returned guard flushes the calling
+/// thread's span buffer when dropped. Bind it *first* in the closure so it
+/// drops *last* — after every span guard in the body has recorded its event.
+#[must_use = "bind the guard to a `_flush` name so it drops at scope exit"]
+pub fn flush_on_exit() -> SpanFlushGuard {
+    SpanFlushGuard
+}
+
+/// Guard returned by [`flush_on_exit`]; flushes the thread's spans on drop.
+pub struct SpanFlushGuard;
+
+impl Drop for SpanFlushGuard {
+    fn drop(&mut self) {
+        flush_thread_spans();
+    }
+}
+
 /// Takes every span recorded so far: the calling thread's buffer plus
 /// everything already flushed to the global sink (buffers of exited
 /// threads and of threads that drained themselves).
 ///
 /// Spans held in the live buffers of *other* still-running threads are not
-/// visible; drain after joining worker threads (the engine's workers are
-/// scoped, so any drain after a sweep returns is complete).
+/// visible; drain after joining worker threads. Scoped workers must flush
+/// explicitly before returning (see [`flush_on_exit`]): the scope owner can
+/// resume before a scoped thread's exit-time flush has run.
 pub fn drain_events() -> Vec<SpanEvent> {
     BUFFER.with(|buffer| buffer.borrow_mut().flush());
     let mut sink = SINK.lock().expect("telemetry sink poisoned");

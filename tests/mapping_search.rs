@@ -97,8 +97,77 @@ proptest! {
     ) {
         let acc = zoo::meta_proto_like_df();
         let layer = Layer::new("l", op, dims);
-        let config = MapperConfig { objective: Objective::Energy, max_orderings: max };
+        let config = MapperConfig { objective: Objective::Energy, max_orderings: max, search_threads: 1 };
         assert_parity(&acc, &layer, config);
+    }
+
+    /// The parallel branch-and-bound search is bit-identical to the
+    /// sequential one — and therefore to the exhaustive oracle — at every
+    /// thread count, across randomized problems, operators, objectives and
+    /// accelerators. The winning ordering, the full cost breakdown and the
+    /// stats accounting invariant must all survive work stealing.
+    #[test]
+    fn parallel_search_matches_sequential_and_exhaustive(
+        dims in arb_problem_dims(),
+        op in arb_op(),
+        acc_idx in 0usize..4,
+        objective in prop::sample::select(vec![
+            Objective::Energy,
+            Objective::Latency,
+            Objective::Edp,
+            Objective::DramAccess,
+        ]),
+    ) {
+        let accs = [
+            zoo::meta_proto_like_df(),
+            zoo::edge_tpu_like_df(),
+            zoo::tpu_like(),
+            zoo::ascend_like_df(),
+        ];
+        let layer = Layer::new("l", op, dims);
+        let config = MapperConfig::default().with_objective(objective);
+        assert_parallel_parity(&accs[acc_idx], &layer, config);
+    }
+}
+
+/// Asserts the parallel search returns bit-identical results to the
+/// sequential search (and both to the exhaustive oracle) at thread counts
+/// {1, 2, 4, 8}, and that every run satisfies the stats accounting
+/// invariant. The split of `evaluated` vs `pruned_bound` may legitimately
+/// differ between runs (incumbent publication timing), but the winning
+/// ordering, cost scalars, access breakdown and candidate accounting must
+/// not.
+fn assert_parallel_parity(acc: &defines_arch::Accelerator, layer: &Layer, config: MapperConfig) {
+    let problem = SingleLayerProblem::new(acc, layer);
+    let sequential = LomaMapper::new(config.with_search_threads(1));
+    let exhaustive = sequential.optimize_exhaustive(&problem);
+    let (reference, ref_stats) = sequential.optimize_with_stats(&problem);
+    assert_eq!(
+        reference,
+        exhaustive,
+        "sequential search diverged from the exhaustive oracle on {} / {}",
+        acc.name(),
+        layer.name
+    );
+    for threads in [2usize, 4, 8] {
+        let mapper = LomaMapper::new(config.with_search_threads(threads));
+        let (cost, stats) = mapper.optimize_with_stats(&problem);
+        assert_eq!(
+            cost,
+            reference,
+            "parallel search diverged at {threads} threads on {} / {} ({stats:?})",
+            acc.name(),
+            layer.name
+        );
+        assert_eq!(
+            stats.orderings_selected, ref_stats.orderings_selected,
+            "candidate selection must not depend on the thread count"
+        );
+        assert_eq!(
+            stats.evaluated + stats.pruned_bound + stats.pruned_symmetry,
+            stats.orderings_selected,
+            "search counters must account for every candidate at {threads} threads"
+        );
     }
 }
 

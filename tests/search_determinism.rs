@@ -1,0 +1,211 @@
+//! Thread-count determinism and cache-contention integration tests for the
+//! parallel branch-and-bound mapping search.
+//!
+//! The contract under test: `--search-threads` is a *throughput* knob, never
+//! a *results* knob. A full FSRCNN sweep and a matrix run must produce
+//! byte-identical serialized reports at 1, 4 and 8 search threads, and the
+//! shared [`MappingCache`] must stay consistent when hammered from many
+//! threads resolving the same canonical problems.
+
+use defines_arch::zoo;
+use defines_core::matrix::{run_matrix, MatrixConfig};
+use defines_core::{DfCostModel, Explorer, FusePolicy, OptimizeTarget, OverlapMode};
+use defines_mapping::{LomaMapper, MapperConfig, MappingCache, SingleLayerProblem};
+use defines_workload::{models, Layer, LayerDims, OpType};
+use serde::{Serialize, Value};
+
+/// Serializes a full FSRCNN sweep (every tile x overlap-mode design point)
+/// run at the given mapping-search thread count. The records carry every
+/// cost scalar, so byte equality of the JSON is bit equality of the results.
+fn sweep_report_json(search_threads: usize) -> String {
+    let acc = zoo::meta_proto_like_df();
+    let net = models::fsrcnn();
+    // The full-width mapper: 720-ordering searches engage the parallel path
+    // (the fast sampled mapper would too, but with less subtree fan-out).
+    let model = DfCostModel::new(&acc).with_search_threads(search_threads);
+    let results = Explorer::new(&model)
+        .sweep(&net, &[(60, 72), (32, 36), (960, 540)], &OverlapMode::ALL)
+        .expect("sweep");
+    Serialize::to_value(&results).to_json_pretty()
+}
+
+#[test]
+fn sweep_report_is_byte_identical_at_every_thread_count() {
+    let reference = sweep_report_json(1);
+    for threads in [4usize, 8] {
+        let report = sweep_report_json(threads);
+        assert_eq!(
+            report, reference,
+            "sweep JSON diverged at {threads} search threads"
+        );
+    }
+}
+
+/// Serializes the deterministic portion of a 2x2 matrix run (cells and
+/// ranking; the engine stats carry wall-clock times and are excluded) at the
+/// given mapping-search thread count.
+fn matrix_report_json(search_threads: usize) -> String {
+    let accelerators = [zoo::meta_proto_like_df(), zoo::edge_tpu_like_df()];
+    let workloads = [models::fsrcnn(), models::reference_net()];
+    let policies = [FusePolicy::Auto];
+    let config = MatrixConfig {
+        search_threads,
+        // A fresh cache per run: warm entries would mask search divergence.
+        cache: MappingCache::new(),
+        ..MatrixConfig::default()
+    };
+    let report = run_matrix(
+        &accelerators,
+        &workloads,
+        &policies,
+        None,
+        &OverlapMode::ALL,
+        OptimizeTarget::Energy,
+        &config,
+        |_| {},
+    )
+    .expect("matrix run");
+
+    let cells: Vec<Value> = report
+        .cells
+        .iter()
+        .map(|cell| {
+            let stacks: Vec<Value> = cell
+                .stacks
+                .iter()
+                .map(|s| {
+                    Value::Object(vec![
+                        ("tile".into(), Value::Str(s.tile.clone())),
+                        ("mode".into(), Value::Str(s.mode.clone())),
+                        ("value".into(), Value::F64(s.value)),
+                    ])
+                })
+                .collect();
+            Value::Object(vec![
+                ("label".into(), Value::Str(cell.label.clone())),
+                ("value".into(), Value::F64(cell.value)),
+                ("energy_pj".into(), Value::F64(cell.energy_pj)),
+                ("latency_cycles".into(), Value::F64(cell.latency_cycles)),
+                ("stacks".into(), Value::Array(stacks)),
+            ])
+        })
+        .collect();
+    let ranking: Vec<Value> = report
+        .ranking
+        .iter()
+        .map(|entry| {
+            Value::Object(vec![
+                ("rank".into(), Value::U64(entry.rank as u64)),
+                ("accelerator".into(), Value::Str(entry.accelerator.clone())),
+                ("total_value".into(), Value::F64(entry.total_value)),
+                ("ratio_to_best".into(), Value::F64(entry.ratio_to_best)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("cells".into(), Value::Array(cells)),
+        ("ranking".into(), Value::Array(ranking)),
+    ])
+    .to_json_pretty()
+}
+
+#[test]
+fn matrix_report_is_byte_identical_at_every_thread_count() {
+    let reference = matrix_report_json(1);
+    for threads in [4usize, 8] {
+        let report = matrix_report_json(threads);
+        assert_eq!(
+            report, reference,
+            "matrix JSON diverged at {threads} search threads"
+        );
+    }
+}
+
+/// N threads hammering the same canonical problems through one shared
+/// [`MappingCache`]: no duplicate entries, every returned cost identical,
+/// and the hit/miss/canonical counters account for exactly every lookup.
+#[test]
+fn mapping_cache_stays_consistent_under_contention() {
+    let acc = zoo::meta_proto_like_df();
+    // Two canonical problems, each reachable from two raw variants: the
+    // padded layers canonicalize onto their pad-free twins (weight-less ops
+    // are canonicalized by the cache key, convs by padding removal).
+    let variants = [
+        Layer::new("a", OpType::Conv, LayerDims::conv(32, 16, 28, 28, 3, 3)),
+        Layer::new(
+            "a_pad",
+            OpType::Conv,
+            LayerDims::conv(32, 16, 28, 28, 3, 3).with_padding(1, 1),
+        ),
+        Layer::new("b", OpType::Pooling, LayerDims::conv(64, 64, 14, 14, 2, 2)),
+        Layer::new(
+            "b_pad",
+            OpType::Pooling,
+            LayerDims::conv(64, 64, 14, 14, 2, 2).with_padding(1, 1),
+        ),
+    ];
+    let cache = MappingCache::new();
+    let mapper = LomaMapper::new(MapperConfig::fast());
+
+    // The single-threaded reference answers, computed on a private cache.
+    let reference: Vec<_> = variants
+        .iter()
+        .map(|layer| {
+            MappingCache::new().optimize_shared(&mapper, &SingleLayerProblem::new(&acc, layer))
+        })
+        .collect();
+
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 16;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..ROUNDS {
+                    for (layer, expected) in variants.iter().zip(&reference) {
+                        let got =
+                            cache.optimize_shared(&mapper, &SingleLayerProblem::new(&acc, layer));
+                        assert_eq!(&*got, &**expected, "contended lookup diverged");
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    let lookups = (THREADS * ROUNDS * variants.len()) as u64;
+    assert_eq!(
+        stats.hits + stats.misses,
+        lookups,
+        "every lookup must count as exactly one hit or one miss"
+    );
+    // The four raw variants collapse onto two canonical entries; the racy
+    // first round may compute a canonical problem more than once, but the
+    // first insert wins, so no duplicate entries ever materialize.
+    assert_eq!(stats.entries, 2, "duplicate cache entries under contention");
+    assert!(
+        stats.misses >= 2,
+        "each canonical problem misses at least once"
+    );
+    assert!(
+        stats.misses <= (THREADS * variants.len()) as u64,
+        "misses are bounded by the racy first round: {stats:?}"
+    );
+    assert!(
+        stats.canonical_hits > 0 && stats.canonical_hits <= stats.hits,
+        "padded variants must hit through canonicalization: {stats:?}"
+    );
+
+    // The cache holds one strong handle per entry; every reader got its own
+    // clone, all of which have been dropped again.
+    let arcs: Vec<_> = variants
+        .iter()
+        .map(|layer| cache.optimize_shared(&mapper, &SingleLayerProblem::new(&acc, layer)))
+        .collect();
+    assert_eq!(
+        std::sync::Arc::strong_count(&arcs[0]),
+        3,
+        "cache + 2 clones"
+    );
+    assert!(std::sync::Arc::ptr_eq(&arcs[0], &arcs[1]));
+    assert!(std::sync::Arc::ptr_eq(&arcs[2], &arcs[3]));
+}

@@ -32,6 +32,10 @@ fn spans_from_many_threads_merge_without_loss() {
     std::thread::scope(|scope| {
         for worker in 0..THREADS {
             scope.spawn(move || {
+                // The engine worker protocol: an explicit flush guard,
+                // because a scope owner can resume before a scoped thread's
+                // exit-time TLS flush has run.
+                let _flush = defines_telemetry::flush_on_exit();
                 for _ in 0..SPANS_PER_THREAD {
                     let _span = span!("test.work", worker = worker);
                 }
@@ -59,6 +63,55 @@ fn spans_from_many_threads_merge_without_loss() {
         .map(|e| e.args.iter().find(|(k, _)| *k == "worker").unwrap().1)
         .collect();
     assert_eq!(workers.len(), THREADS);
+}
+
+/// The `search.*` telemetry counters must agree with the stats the search
+/// returns, parallel path included: the per-worker stats merge is exact, so
+/// the mirrored counter deltas satisfy the same accounting invariant
+/// (`evaluated + pruned = selected`), and the parallel-search counters
+/// (`search.subtrees`) prove the pool actually ran.
+#[test]
+fn search_counters_stay_consistent_with_returned_stats() {
+    let _guard = telemetry_test();
+    defines_telemetry::set_metrics(true);
+
+    let acc = defines_arch::zoo::meta_proto_like_df();
+    let layer = defines_workload::Layer::new(
+        "c",
+        defines_workload::OpType::Conv,
+        defines_workload::LayerDims::conv(64, 32, 28, 28, 3, 3),
+    );
+    let problem = defines_mapping::SingleLayerProblem::new(&acc, &layer);
+    let parallel = defines_mapping::LomaMapper::new(
+        defines_mapping::MapperConfig::default().with_search_threads(4),
+    );
+    let sequential = defines_mapping::LomaMapper::new(defines_mapping::MapperConfig::default());
+
+    let before = defines_telemetry::snapshot();
+    let cost = parallel.optimize(&problem);
+    let delta = defines_telemetry::snapshot().since(&before);
+    defines_telemetry::set_metrics(false);
+
+    let (reference, ref_stats) = sequential.optimize_with_stats(&problem);
+    assert_eq!(cost, reference, "parallel optimize diverged");
+
+    let evaluated = delta.get("search.orderings_evaluated").unwrap_or(0);
+    let pruned_bound = delta.get("search.pruned_bound").unwrap_or(0);
+    let pruned_symmetry = delta.get("search.pruned_symmetry").unwrap_or(0);
+    assert_eq!(
+        evaluated + pruned_bound + pruned_symmetry,
+        ref_stats.orderings_selected,
+        "mirrored counters must account for every candidate ordering: {delta:?}"
+    );
+    assert!(evaluated > 0, "the search evaluated at least the winner");
+    assert!(
+        delta.get("search.subtrees").unwrap_or(0) > 0,
+        "the 4-thread search must fan out over prefix subtrees: {delta:?}"
+    );
+    // Steals and bound broadcasts are timing-dependent (possibly zero), but
+    // the counters must exist once the parallel path has run.
+    let _ = delta.get("search.steals");
+    let _ = delta.get("search.bound_broadcasts");
 }
 
 #[test]

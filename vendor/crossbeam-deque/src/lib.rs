@@ -1,0 +1,337 @@
+//! Offline stand-in for `crossbeam-deque`: a fixed-capacity Chase-Lev
+//! work-stealing deque covering the API subset the mapping-search pool uses
+//! ([`Worker`], [`Stealer`], [`Steal`]).
+//!
+//! Like the other `vendor/` crates this is not the real library — it is a
+//! minimal, dependency-free implementation whose types and method names match
+//! the upstream crate so the depending code reads idiomatically.
+//!
+//! # Restrictions versus the real crate
+//!
+//! * The buffer never grows. [`Worker::with_capacity`] fixes the slot count
+//!   up front and [`Worker::push`] returns the value back once the deque has
+//!   accepted `capacity` items over its lifetime.
+//! * The deque is *single-phase*: every push must happen before the first
+//!   pop or steal. This makes every slot write-once, so a stealer never
+//!   reads a slot concurrently with a write — the one hazard the real
+//!   crate's epoch machinery exists to manage. The search pool's usage
+//!   (seed all work units, then hand the stealers to the workers) fits this
+//!   shape exactly, and the restriction is `debug_assert`ed.
+//!
+//! Owner pops are LIFO (depth-first over the subtree a unit expands to),
+//! steals are FIFO from the opposite end (stealers take the oldest — and in
+//! a branch-and-bound tree typically largest — units), the classic
+//! work-stealing discipline.
+//!
+//! ```
+//! use crossbeam_deque::{Steal, Worker};
+//!
+//! let w: Worker<u32> = Worker::with_capacity(8);
+//! let s = w.stealer();
+//! w.push(1).unwrap();
+//! w.push(2).unwrap();
+//! assert_eq!(s.steal(), Steal::Success(1)); // FIFO end
+//! assert_eq!(w.pop(), Some(2)); // LIFO end
+//! assert_eq!(s.steal(), Steal::Empty);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was empty at the time of the attempt.
+    Empty,
+    /// A value was stolen.
+    Success(T),
+    /// The attempt lost a race with the owner or another stealer; retrying
+    /// may succeed.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether the deque was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// Shared state of one deque. `top` is the steal end, `bottom` the owner
+/// end; both only ever increase except for the owner's transient decrement
+/// in `pop`. Slots in `[top, bottom)` hold initialized values.
+struct Inner<T> {
+    top: AtomicUsize,
+    bottom: AtomicUsize,
+    /// Total values ever pushed; slots `[0, pushed)` are write-once.
+    pushed: AtomicUsize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+// The slot array is only written by the owner before any concurrent access
+// (single-phase restriction) and each slot is consumed at most once, guarded
+// by the top/bottom protocol below.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Inner<T> {
+    /// Reads slot `index` out of the buffer. Caller must hold unique claim
+    /// to the slot (a successful CAS on `top`, or the owner protocol).
+    unsafe fn take(&self, index: usize) -> T {
+        (*self.slots[index].get()).assume_init_read()
+    }
+}
+
+/// The owner handle: pushes and LIFO-pops. Not cloneable — exactly one
+/// thread owns each deque.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// A stealer handle: FIFO steals from the opposite end. Cloneable and
+/// shareable across threads.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Worker<T> {
+    /// Creates a deque holding at most `capacity` values over its lifetime.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Worker {
+            inner: Arc::new(Inner {
+                top: AtomicUsize::new(0),
+                bottom: AtomicUsize::new(0),
+                pushed: AtomicUsize::new(0),
+                slots,
+            }),
+        }
+    }
+
+    /// A stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Pushes a value on the owner end. Returns the value back if the deque
+    /// has exhausted its lifetime capacity.
+    ///
+    /// Must not run concurrently with `pop` or `steal` (single-phase
+    /// restriction; see the crate docs).
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        if b == inner.slots.len() {
+            return Err(value);
+        }
+        // Single-phase: nothing has been consumed yet, so the push cursor
+        // and the bottom index agree and the slot is untouched.
+        debug_assert_eq!(inner.pushed.load(Ordering::Relaxed), b);
+        debug_assert_eq!(inner.top.load(Ordering::Relaxed), 0);
+        unsafe { (*inner.slots[b].get()).write(value) };
+        inner.pushed.store(b + 1, Ordering::Relaxed);
+        // Publish: a stealer that Acquire-loads the new bottom sees the
+        // slot's contents.
+        inner.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Pops a value from the owner (LIFO) end.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        if inner.top.load(Ordering::Relaxed) >= b {
+            return None;
+        }
+        let b = b - 1;
+        inner.bottom.store(b, Ordering::Relaxed);
+        // SeqCst pairing with the stealer's fence: either every stealer
+        // sees the decremented bottom, or this thread sees their top
+        // increments — never both missed, which is what rules out the
+        // double-take on the last slot.
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        if t < b {
+            // More than one value left: the slot is unambiguously ours.
+            return Some(unsafe { inner.take(b) });
+        }
+        if t == b {
+            // Last value: race the stealers for it via CAS on top.
+            let won = inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then(|| unsafe { inner.take(b) });
+        }
+        // Empty (a stealer took the last value first): restore bottom.
+        inner.bottom.store(b + 1, Ordering::Relaxed);
+        None
+    }
+
+    /// Whether the deque currently holds no values.
+    pub fn is_empty(&self) -> bool {
+        let inner = &self.inner;
+        inner.top.load(Ordering::Relaxed) >= inner.bottom.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal a value from the FIFO end. A [`Steal::Retry`]
+    /// result means the attempt lost a race and may be retried.
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Claim slot t before touching it. Write-once slots make the read
+        // after a successful claim race-free (crate docs).
+        match inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+        {
+            Ok(_) => Steal::Success(unsafe { inner.take(t) }),
+            Err(_) => Steal::Retry,
+        }
+    }
+
+    /// Whether the deque was empty at the time of the call.
+    pub fn is_empty(&self) -> bool {
+        let inner = &self.inner;
+        inner.top.load(Ordering::Relaxed) >= inner.bottom.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Drop the values still sitting in [top, bottom). Exclusive access:
+        // `&mut self` means no handles remain.
+        let t = *self.top.get_mut();
+        let b = *self.bottom.get_mut();
+        for i in t..b {
+            unsafe { (*self.slots[i].get()).assume_init_drop() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn owner_pops_lifo() {
+        let w = Worker::with_capacity(4);
+        for i in 0..4 {
+            w.push(i).unwrap();
+        }
+        assert_eq!(w.push(9), Err(9));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(0));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_fifo() {
+        let w = Worker::with_capacity(4);
+        for i in 0..3 {
+            w.push(i).unwrap();
+        }
+        let s = w.stealer();
+        assert!(!s.is_empty());
+        assert_eq!(s.steal(), Steal::Success(0));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+        assert!(s.is_empty() && w.is_empty());
+        assert_eq!(Steal::Success(7).success(), Some(7));
+        assert_eq!(Steal::<u32>::Empty.success(), None);
+        assert!(Steal::<u32>::Empty.is_empty());
+        assert!(!Steal::<u32>::Retry.is_empty());
+    }
+
+    #[test]
+    fn unconsumed_values_drop_exactly_once() {
+        let w = Worker::with_capacity(8);
+        for i in 0..6 {
+            w.push(Box::new(i)).unwrap();
+        }
+        assert_eq!(*w.pop().unwrap(), 5);
+        assert_eq!(w.stealer().steal().success().map(|b| *b), Some(0));
+        // Remaining four boxes are freed by Inner::drop (Miri/leak-checkers
+        // would flag a double free or leak here).
+        drop(w);
+    }
+
+    /// Concurrency: an owner popping and several stealers draining the same
+    /// deque must consume every value exactly once.
+    #[test]
+    fn concurrent_drain_consumes_each_value_once() {
+        const N: usize = 2000;
+        for _ in 0..8 {
+            let w = Worker::with_capacity(N);
+            for i in 0..N {
+                w.push(i).unwrap();
+            }
+            let taken: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..3 {
+                    let s = w.stealer();
+                    let taken = &taken;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            match s.steal() {
+                                Steal::Success(v) => local.push(v),
+                                Steal::Retry => continue,
+                                Steal::Empty => break,
+                            }
+                        }
+                        taken.lock().unwrap().extend(local);
+                    });
+                }
+                let mut local = Vec::new();
+                while let Some(v) = w.pop() {
+                    local.push(v);
+                }
+                taken.lock().unwrap().extend(local);
+            });
+            let got = taken.into_inner().unwrap();
+            assert_eq!(got.len(), N, "values lost or duplicated");
+            let distinct: HashSet<usize> = got.iter().copied().collect();
+            assert_eq!(distinct.len(), N, "duplicated values");
+        }
+    }
+}
