@@ -37,6 +37,7 @@
 //! assert!(lb.serves(Operand::Input) && lb.serves(Operand::Output));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

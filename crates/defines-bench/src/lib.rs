@@ -5,6 +5,7 @@
 //! plumbing they share: canonical experiment settings, simple table / heatmap
 //! printing, and JSON result dumps.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

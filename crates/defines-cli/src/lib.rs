@@ -14,6 +14,7 @@
 //! cargo run --release --bin sweep -- --workload my-custom-net.json
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -334,6 +334,7 @@ impl SweepEngine {
         S: FnMut(SweepRecord<P, C>),
     {
         let _run_span = span!("engine.run");
+        // lint:allow(wall-clock, elapsed feeds SweepStats reporting only, never results)
         let start = Instant::now();
         let bound = if self.config.prune { lower_bound } else { None };
         let threads = self.config.threads.min(points.len()).max(1);

@@ -29,6 +29,7 @@
 //! ([`SweepEngine::run_collect`]) is deterministic: with a deterministic
 //! evaluator it returns bit-identical results regardless of thread count.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,477 @@
+//! A small self-contained token-level Rust lexer.
+//!
+//! The rules in this crate do not need a parse tree — every invariant they
+//! enforce is visible at the token level (identifier sequences, comment
+//! placement, brace nesting). What they *do* need is for string literals and
+//! comments to be lexed correctly, so that `"HashMap"` inside a string or a
+//! commented-out `unsafe` never triggers a rule. This lexer covers the full
+//! Rust literal surface the workspace uses: line and (nested) block comments,
+//! string/char/byte literals, raw strings (`r"…"`, `r#"…"#`), raw
+//! identifiers (`r#type`), lifetimes, and numeric literals including
+//! `0..n` range punctuation.
+
+/// One lexed token. Comments are collected separately in [`Lexed::comments`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `unsafe`, `HashMap`, …).
+    Ident(String),
+    /// A single punctuation character; multi-character operators appear as
+    /// consecutive `Punct` tokens (`::` is `Punct(':') Punct(':')`).
+    Punct(char),
+    /// A string/char/byte/numeric literal. The content is irrelevant to every
+    /// rule, so it is not retained.
+    Literal,
+    /// A lifetime (`'a`); distinguished from char literals.
+    Lifetime,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// A comment (line or block, doc or plain) with its line extent and text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based first line.
+    pub start_line: u32,
+    /// 1-based last line (equal to `start_line` for line comments).
+    pub end_line: u32,
+}
+
+/// The result of lexing one file: code tokens, comments, and which lines
+/// carry code (used to decide whether a line is comment-only).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+    /// Sorted list of 1-based lines that contain at least one code token.
+    code_lines: Vec<u32>,
+}
+
+impl Lexed {
+    /// Whether `line` contains at least one code token.
+    pub fn is_code_line(&self, line: u32) -> bool {
+        self.code_lines.binary_search(&line).is_ok()
+    }
+
+    /// The first code-bearing line strictly after `line`, if any.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        match self.code_lines.binary_search(&(line + 1)) {
+            Ok(i) => Some(self.code_lines[i]),
+            Err(i) => self.code_lines.get(i).copied(),
+        }
+    }
+
+    /// Whether `line` is covered by a comment and carries no code tokens.
+    pub fn is_comment_only_line(&self, line: u32) -> bool {
+        !self.is_code_line(line)
+            && self
+                .comments
+                .iter()
+                .any(|c| c.start_line <= line && line <= c.end_line)
+    }
+
+    /// Concatenated text of every comment that intersects the contiguous
+    /// block of comment-only lines ending at `line` (inclusive). Empty if
+    /// `line` itself is not comment-only.
+    pub fn comment_block_ending_at(&self, line: u32) -> String {
+        if line == 0 || !self.is_comment_only_line(line) {
+            return String::new();
+        }
+        let mut first = line;
+        while first > 1 && self.is_comment_only_line(first - 1) {
+            first -= 1;
+        }
+        let mut text = String::new();
+        for c in &self.comments {
+            if c.start_line <= line && c.end_line >= first {
+                text.push_str(&c.text);
+                text.push('\n');
+            }
+        }
+        text
+    }
+
+    /// Concatenated text of comments that touch `line` itself (trailing
+    /// comments on a code line included).
+    pub fn comments_on_line(&self, line: u32) -> String {
+        let mut text = String::new();
+        for c in &self.comments {
+            if c.start_line <= line && line <= c.end_line {
+                text.push_str(&c.text);
+                text.push('\n');
+            }
+        }
+        text
+    }
+}
+
+/// Lexes `source` into tokens and comments.
+pub fn lex(source: &str) -> Lexed {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    let push_code_line = |out: &mut Lexed, line: u32| {
+        if out.code_lines.last() != Some(&line) {
+            out.code_lines.push(line);
+        }
+    };
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                let start = i + 2;
+                let mut end = start;
+                while end < n && bytes[end] != '\n' {
+                    end += 1;
+                }
+                out.comments.push(Comment {
+                    text: bytes[start..end].iter().collect(),
+                    start_line: line,
+                    end_line: line,
+                });
+                i = end;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                let start_line = line;
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                let mut text = String::new();
+                while j < n && depth > 0 {
+                    if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if bytes[j] == '\n' {
+                            line += 1;
+                        }
+                        text.push(bytes[j]);
+                        j += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text,
+                    start_line,
+                    end_line: line,
+                });
+                i = j;
+            }
+            '"' => {
+                push_code_line(&mut out, line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                i = skip_string(&bytes, i, &mut line);
+            }
+            'r' | 'b' if is_raw_or_byte_string(&bytes, i) => {
+                push_code_line(&mut out, line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                i = skip_raw_or_byte_string(&bytes, i, &mut line);
+            }
+            '\'' => {
+                // Lifetime vs char literal: a lifetime is `'` followed by an
+                // identifier NOT terminated by a closing quote.
+                let is_lifetime =
+                    i + 1 < n && (bytes[i + 1].is_alphabetic() || bytes[i + 1] == '_') && {
+                        let mut j = i + 2;
+                        while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                            j += 1;
+                        }
+                        !(j < n && bytes[j] == '\'')
+                    };
+                push_code_line(&mut out, line);
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        line,
+                    });
+                    i = j;
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line,
+                    });
+                    i = skip_char_literal(&bytes, i);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                // Raw identifier `r#name`: strip the prefix so rules compare
+                // against the bare name.
+                let text: String = if bytes[start] == 'r'
+                    && j == start + 1
+                    && j + 1 < n
+                    && bytes[j] == '#'
+                    && (bytes[j + 1].is_alphabetic() || bytes[j + 1] == '_')
+                {
+                    let mut k = j + 1;
+                    while k < n && (bytes[k].is_alphanumeric() || bytes[k] == '_') {
+                        k += 1;
+                    }
+                    let t = bytes[j + 1..k].iter().collect();
+                    j = k;
+                    t
+                } else {
+                    bytes[start..j].iter().collect()
+                };
+                push_code_line(&mut out, line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                loop {
+                    if j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                        j += 1;
+                    } else if j + 1 < n
+                        && bytes[j] == '.'
+                        && bytes[j + 1].is_ascii_digit()
+                        && (j == 0 || bytes[j - 1] != '.')
+                    {
+                        // Decimal point, but never the `..` of a range.
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                push_code_line(&mut out, line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                i = j;
+            }
+            c => {
+                push_code_line(&mut out, line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` starts a raw string (`r"`, `r#"…"#`), byte string
+/// (`b"`, `br"`, `br#"`) or byte char (`b'`). `r#ident` (a raw identifier)
+/// does not match: the hashes must be followed by a quote.
+fn is_raw_or_byte_string(bytes: &[char], i: usize) -> bool {
+    let peek = |k: usize| bytes.get(i + k).copied().unwrap_or('\0');
+    let hashes_then_quote = |mut k: usize| {
+        while peek(k) == '#' {
+            k += 1;
+        }
+        peek(k) == '"'
+    };
+    match bytes[i] {
+        'r' => hashes_then_quote(1),
+        'b' => peek(1) == '"' || peek(1) == '\'' || (peek(1) == 'r' && hashes_then_quote(2)),
+        _ => false,
+    }
+}
+
+/// Skips a `"…"` string starting at `i`, tracking newlines.
+fn skip_string(bytes: &[char], i: usize, line: &mut u32) -> usize {
+    let n = bytes.len();
+    let mut j = i + 1;
+    while j < n {
+        match bytes[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skips a raw/byte string (or byte char) starting at `i`.
+fn skip_raw_or_byte_string(bytes: &[char], i: usize, line: &mut u32) -> usize {
+    let n = bytes.len();
+    let mut j = i;
+    let mut raw = false;
+    // Skip the `b` / `r` / `br` prefix.
+    while j < n && (bytes[j] == 'b' || bytes[j] == 'r') && j < i + 2 {
+        raw |= bytes[j] == 'r';
+        j += 1;
+    }
+    if j < n && bytes[j] == '\'' {
+        return skip_char_literal(bytes, j);
+    }
+    let mut hashes = 0usize;
+    while j < n && bytes[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || bytes[j] != '"' {
+        return j;
+    }
+    j += 1;
+    if raw {
+        // Raw string: ends at `"` followed by `hashes` '#' characters; no
+        // escape processing.
+        while j < n {
+            if bytes[j] == '\n' {
+                *line += 1;
+            } else if bytes[j] == '"' {
+                let mut k = 0;
+                while k < hashes && bytes.get(j + 1 + k) == Some(&'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return j + 1 + hashes;
+                }
+            }
+            j += 1;
+        }
+        j
+    } else {
+        // Plain byte string: same escape rules as a normal string.
+        skip_string(bytes, j - 1, line)
+    }
+}
+
+/// Skips a `'…'` char literal starting at `i` (handles `'\''`, `'\u{…}'`).
+fn skip_char_literal(bytes: &[char], i: usize) -> usize {
+    let n = bytes.len();
+    let mut j = i + 1;
+    while j < n {
+        match bytes[j] {
+            '\\' => j += 2,
+            '\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_keywords() {
+        let src = r##"
+            let a = "unsafe HashMap"; // unsafe in a comment
+            /* block with unsafe */
+            let b = r#"raw unsafe"#;
+            let c = 'u';
+            let d = b"unsafe";
+        "##;
+        let ids = idents(src);
+        assert!(
+            !ids.iter().any(|s| s == "unsafe" || s == "HashMap"),
+            "{ids:?}"
+        );
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn ranges_are_not_decimals() {
+        let src = "for i in 0..10 { let x = 1.5; }";
+        let lexed = lex(src);
+        let puncts: Vec<char> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            puncts.iter().filter(|&&c| c == '.').count(),
+            2,
+            "{puncts:?}"
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_strip_prefix() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn comment_blocks_and_line_queries() {
+        let src = "fn a() {}\n// one\n// SAFETY: two\nfn b() {}\n";
+        let lexed = lex(src);
+        assert!(lexed.is_code_line(1));
+        assert!(lexed.is_comment_only_line(2));
+        assert!(lexed.is_comment_only_line(3));
+        assert!(lexed.comment_block_ending_at(3).contains("SAFETY:"));
+        assert!(lexed.comment_block_ending_at(1).is_empty());
+        assert_eq!(lexed.next_code_line(1), Some(4));
+    }
+}

@@ -1,0 +1,64 @@
+//! `defines-lint` — the workspace invariant checker.
+//!
+//! This repo's signature guarantee is that results are **bit-identical**
+//! across thread counts, cache states, and JSON/builtin frontends. That
+//! guarantee is a property of the *code shape*, not of any one test: a
+//! `HashMap` iterated into a report, an f64 reduction over an unordered
+//! iterator, or a wall-clock read in a cost path can all pass every parity
+//! test on one machine and still break byte-identity on the next. This crate
+//! turns those conventions into mechanically checked, named rules:
+//!
+//! | rule | enforces |
+//! |------|----------|
+//! | `unordered-iter` | no iteration over `HashMap`/`HashSet` bindings in non-test code unless the site feeds a sort |
+//! | `wall-clock` | `Instant::now`/`SystemTime` only in `defines-telemetry`, `defines-bench`, and bench/test targets |
+//! | `unsafe-hygiene` | every `unsafe` preceded by `// SAFETY:`; `crates/` roots declare `#![forbid(unsafe_code)]` or `#![deny(unsafe_op_in_unsafe_fn)]` |
+//! | `float-order` | no f64 `sum`/`fold`/`product` over unordered iterators in `defines-core`/`defines-mapping` |
+//! | `vendoring` | every `Cargo.toml` dependency resolves to `vendor/` or a workspace crate |
+//!
+//! Sites that are deliberately exempt carry a justified annotation the rule
+//! checks for:
+//!
+//! ```text
+//! // lint:allow(wall-clock, elapsed feeds the stats report only)
+//! let start = Instant::now();
+//! ```
+//!
+//! The analysis is token-level — a small self-contained Rust [`lexer`] and a
+//! TOML-subset [`manifest`] parser, no crates.io dependencies — which keeps
+//! it fast (the whole workspace lints in tens of milliseconds) and honest:
+//! the linter that audits the vendoring policy has no dependencies of its
+//! own. Token-level also means heuristic: bindings are tracked by declared
+//! type or constructor call, not full type inference. The rules err toward
+//! silence on code they cannot see through, and every rule is individually
+//! allowlistable at the site level for the cases they misjudge.
+//!
+//! # Library use
+//!
+//! ```
+//! use defines_lint::{lint_source, Rule};
+//! use std::path::Path;
+//!
+//! let findings = lint_source(
+//!     Path::new("crates/defines-core/src/demo.rs"),
+//!     "fn f(m: &std::collections::HashMap<u32, u32>) -> u32 {\n\
+//!          m.values().copied().sum()\n\
+//!      }\n",
+//! );
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, Rule::FloatOrder);
+//! assert_eq!(findings[0].line, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod walk;
+
+pub use manifest::{lint_manifest, parse_dependencies, DepSite, WorkspaceDeps};
+pub use rules::{check_crate_root_attr, lint_source, Finding, Rule, SourceContext};
+pub use walk::{find_workspace_root, lint_tree};

@@ -1,0 +1,91 @@
+//! The `defines-lint` binary: lints the workspace tree and exits nonzero on
+//! any finding.
+//!
+//! ```text
+//! cargo run -p defines-lint --release              # lint the whole workspace
+//! cargo run -p defines-lint --release -- --root X  # lint another tree
+//! cargo run -p defines-lint --release -- --list-rules
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use defines_lint::{find_workspace_root, lint_tree, Rule};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut quiet = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--list-rules" => {
+                for rule in Rule::ALL {
+                    println!("{:<15} {}", rule.name(), rule.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "defines-lint: workspace invariant checker\n\n\
+                     USAGE: defines-lint [--root PATH] [--quiet] [--list-rules]\n\n\
+                     Lints every .rs and Cargo.toml under the workspace root for\n\
+                     determinism, unsafe hygiene and offline-vendoring violations.\n\
+                     Exits 0 when clean, 1 on findings, 2 on usage/IO errors.\n\
+                     Silence a site with: // lint:allow(<rule>, <reason>)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("no workspace root found (no Cargo.toml with [workspace] above cwd)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match lint_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lint walk failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if findings.is_empty() {
+        if !quiet {
+            println!("defines-lint: workspace clean ({} rules)", Rule::ALL.len());
+        }
+        ExitCode::SUCCESS
+    } else {
+        for finding in &findings {
+            println!("{finding}");
+        }
+        println!(
+            "defines-lint: {} finding(s) — each line is file:line [rule] message (fix hint)",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}

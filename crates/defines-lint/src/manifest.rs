@@ -1,0 +1,359 @@
+//! `Cargo.toml` parsing (a line-oriented TOML subset) and the
+//! offline-vendoring rule.
+//!
+//! The build environment has no crates.io access, so every dependency in
+//! every manifest must resolve to a `vendor/` path or a workspace crate —
+//! either directly (`path = "../../vendor/serde"`) or through
+//! `workspace = true` against a root `[workspace.dependencies]` entry that
+//! itself carries such a path. Anything else (bare versions, registry
+//! entries, git URLs) would make `cargo` reach for the network.
+//!
+//! The parser covers the TOML subset the workspace actually uses: `[section]`
+//! headers, `key = value` lines with string / bool / array / single-line
+//! inline-table values, and dotted keys (`serde.workspace = true`). That is
+//! deliberate — like the lexer, it is self-contained so the linter that
+//! audits the dependency policy has no dependencies of its own.
+
+use crate::rules::{Finding, Rule};
+use std::collections::BTreeSet;
+use std::path::{Component, Path, PathBuf};
+
+/// One dependency entry as written in a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepSite {
+    /// Section the entry appears in (`dependencies`, `dev-dependencies`,
+    /// `build-dependencies`, `workspace.dependencies`, …).
+    pub section: String,
+    /// Dependency name (the key).
+    pub name: String,
+    /// 1-based line of the entry.
+    pub line: u32,
+    /// `path = "…"` value, if present.
+    pub path: Option<String>,
+    /// Whether `workspace = true` is set.
+    pub workspace: bool,
+    /// Whether a `version` requirement is present.
+    pub has_version: bool,
+    /// Whether a `git` source is present.
+    pub git: bool,
+}
+
+/// Parses every dependency entry out of a manifest.
+pub fn parse_dependencies(content: &str) -> Vec<DepSite> {
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    for (idx, raw) in content.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().trim_matches('[').trim_matches(']').to_string();
+            continue;
+        }
+        if !is_dependency_section(&section) {
+            continue;
+        }
+        let Some((key, value)) = split_key_value(&line) else {
+            continue;
+        };
+        let (name, sub) = match key.split_once('.') {
+            Some((n, s)) => (n.trim(), Some(s.trim())),
+            None => (key.trim(), None),
+        };
+        let name = name.trim_matches('"').to_string();
+        let mut dep = DepSite {
+            section: section.clone(),
+            name,
+            line: line_no,
+            path: None,
+            workspace: false,
+            has_version: false,
+            git: false,
+        };
+        match sub {
+            // `serde.workspace = true`, `serde.path = "…"` dotted forms.
+            Some(attr) => apply_attr(&mut dep, attr, value.trim()),
+            None => {
+                let value = value.trim();
+                if let Some(body) = value.strip_prefix('{').and_then(|v| v.strip_suffix('}')) {
+                    for pair in split_inline_table(body) {
+                        if let Some((k, v)) = split_key_value(&pair) {
+                            apply_attr(&mut dep, k.trim(), v.trim());
+                        }
+                    }
+                } else if value.starts_with('"') {
+                    dep.has_version = true;
+                }
+            }
+        }
+        deps.push(dep);
+    }
+    deps
+}
+
+/// Whether a section holds dependency entries.
+fn is_dependency_section(section: &str) -> bool {
+    section == "dependencies"
+        || section.ends_with(".dependencies")
+        || section.ends_with("dev-dependencies")
+        || section.ends_with("build-dependencies")
+        || section == "dev-dependencies"
+        || section == "build-dependencies"
+}
+
+fn apply_attr(dep: &mut DepSite, key: &str, value: &str) {
+    match key {
+        "path" => dep.path = Some(value.trim_matches('"').to_string()),
+        "workspace" => dep.workspace = value == "true",
+        "version" => dep.has_version = true,
+        "git" => dep.git = true,
+        _ => {}
+    }
+}
+
+/// Removes a `#` comment that is outside any string.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Splits `key = value` on the first `=` outside quotes.
+fn split_key_value(line: &str) -> Option<(String, String)> {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '=' if !in_string => {
+                return Some((
+                    line[..i].trim().to_string(),
+                    line[i + 1..].trim().to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits an inline-table body on commas outside quotes and brackets.
+fn split_inline_table(body: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    let mut depth = 0i32;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_string = !in_string;
+                current.push(c);
+            }
+            '[' | '{' if !in_string => {
+                depth += 1;
+                current.push(c);
+            }
+            ']' | '}' if !in_string => {
+                depth -= 1;
+                current.push(c);
+            }
+            ',' if !in_string && depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Names declared in the root `[workspace.dependencies]` table. The entries
+/// themselves are validated when the root manifest is linted; members only
+/// need the name to exist.
+#[derive(Debug, Default, Clone)]
+pub struct WorkspaceDeps {
+    names: BTreeSet<String>,
+}
+
+impl WorkspaceDeps {
+    /// Builds the set from the root manifest's content.
+    pub fn from_root_manifest(content: &str) -> WorkspaceDeps {
+        let names = parse_dependencies(content)
+            .into_iter()
+            .filter(|d| d.section == "workspace.dependencies")
+            .map(|d| d.name)
+            .collect();
+        WorkspaceDeps { names }
+    }
+
+    /// Whether `name` is declared in the root table.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+}
+
+/// Lexically normalizes `dir/path` (resolving `.` and `..`) without touching
+/// the filesystem, returning a workspace-root-relative path. `None` if the
+/// path escapes the root.
+fn normalize_relative(dir: &Path, path: &str) -> Option<PathBuf> {
+    let mut stack: Vec<std::ffi::OsString> = Vec::new();
+    for comp in dir.join(path).components() {
+        match comp {
+            Component::CurDir => {}
+            Component::ParentDir => {
+                stack.pop()?;
+            }
+            Component::Normal(c) => stack.push(c.to_os_string()),
+            Component::RootDir | Component::Prefix(_) => return None,
+        }
+    }
+    Some(stack.iter().collect())
+}
+
+/// Rule 5: lints one manifest's dependency entries against the vendoring
+/// policy. `rel_path` must be workspace-relative (path deps are resolved
+/// against its parent directory).
+pub fn lint_manifest(rel_path: &Path, content: &str, ws: &WorkspaceDeps) -> Vec<Finding> {
+    let dir = rel_path.parent().unwrap_or(Path::new(""));
+    let mut findings = Vec::new();
+    let mut push = |line: u32, message: String, hint: &str| {
+        findings.push(Finding {
+            file: rel_path.to_path_buf(),
+            line,
+            rule: Rule::Vendoring,
+            message,
+            hint: hint.to_string(),
+        });
+    };
+    for dep in parse_dependencies(content) {
+        if dep.git {
+            push(
+                dep.line,
+                format!(
+                    "dependency `{}` uses a git source — the build is offline",
+                    dep.name
+                ),
+                "vendor the crate under vendor/ and point a path dependency at it",
+            );
+            continue;
+        }
+        if let Some(p) = &dep.path {
+            let resolved = normalize_relative(dir, p);
+            let ok = resolved
+                .as_ref()
+                .is_some_and(|r| r.starts_with("vendor") || r.starts_with("crates"));
+            if !ok {
+                push(
+                    dep.line,
+                    format!(
+                        "dependency `{}` path `{}` resolves outside vendor/ and crates/",
+                        dep.name, p
+                    ),
+                    "point the path at vendor/<crate> or crates/<crate>",
+                );
+            }
+            continue;
+        }
+        if dep.workspace {
+            if dep.section == "workspace.dependencies" {
+                // `workspace = true` is meaningless in the root table itself.
+                push(
+                    dep.line,
+                    format!("workspace dependency `{}` has no path", dep.name),
+                    "give the [workspace.dependencies] entry a vendor/ or crates/ path",
+                );
+            } else if !ws.contains(&dep.name) {
+                push(
+                    dep.line,
+                    format!(
+                        "dependency `{}` sets workspace = true but the root \
+                         [workspace.dependencies] table has no such entry",
+                        dep.name
+                    ),
+                    "declare the dependency with a vendor/ or crates/ path in the root manifest",
+                );
+            }
+            continue;
+        }
+        // No path, no workspace indirection: this entry would resolve to a
+        // registry, which the offline build cannot reach.
+        push(
+            dep.line,
+            format!(
+                "dependency `{}` resolves to a registry ({}) — the build is offline",
+                dep.name,
+                if dep.has_version {
+                    "bare version requirement"
+                } else {
+                    "no source given"
+                }
+            ),
+            "use path = \"…/vendor/<crate>\" or workspace = true backed by a vendored path",
+        );
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_inline_tables_and_dotted_keys() {
+        let content = r#"
+[package]
+name = "demo"
+
+[dependencies]
+serde = { path = "../../vendor/serde", features = ["derive"] }
+clap.workspace = true
+plain = "1.0"
+
+[dev-dependencies]
+proptest = { workspace = true }
+"#;
+        let deps = parse_dependencies(content);
+        assert_eq!(deps.len(), 4);
+        assert_eq!(deps[0].path.as_deref(), Some("../../vendor/serde"));
+        assert!(deps[1].workspace);
+        assert!(deps[2].has_version);
+        assert!(deps[3].workspace);
+        assert_eq!(deps[3].section, "dev-dependencies");
+    }
+
+    #[test]
+    fn normalization_is_lexical() {
+        let dir = Path::new("crates/demo");
+        assert_eq!(
+            normalize_relative(dir, "../../vendor/serde"),
+            Some(PathBuf::from("vendor/serde"))
+        );
+        assert_eq!(normalize_relative(dir, "../../../outside"), None);
+    }
+
+    #[test]
+    fn registry_and_git_deps_are_flagged() {
+        let ws = WorkspaceDeps::default();
+        let content =
+            "[dependencies]\nbad = \"1.0\"\nworse = { git = \"https://example.com/x\" }\n";
+        let findings = lint_manifest(Path::new("crates/demo/Cargo.toml"), content, &ws);
+        assert_eq!(findings.len(), 2, "{findings:#?}");
+        assert!(findings.iter().all(|f| f.rule == Rule::Vendoring));
+    }
+
+    #[test]
+    fn workspace_comment_and_version_attrs() {
+        let content = "[dependencies]\nserde = { path = \"../../vendor/serde\" } # ok\n";
+        let ws = WorkspaceDeps::default();
+        assert!(lint_manifest(Path::new("crates/demo/Cargo.toml"), content, &ws).is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Deterministic workspace walk: finds every `.rs` and `Cargo.toml`, lints
+//! each, and runs the workspace-level crate-root attribute pass.
+//!
+//! The walk itself obeys the invariant it enforces: directory entries are
+//! visited in sorted order and findings are reported sorted by
+//! `(file, line, rule)`, so the linter's own output is byte-stable.
+
+use crate::manifest::{lint_manifest, WorkspaceDeps};
+use crate::rules::{check_crate_root_attr, lint_source, Finding};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into. `fixtures` holds the linter's own
+/// deliberately-bad test corpus; `target` holds generated code.
+const SKIP_DIRS: [&str; 2] = ["target", "fixtures"];
+
+/// Collects workspace-relative paths of every lintable file under `root`,
+/// sorted.
+fn collect_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect_files(root, &path, out)?;
+        } else if name == "Cargo.toml" || name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole tree rooted at `root`: every `.rs` through the source
+/// rules, every `Cargo.toml` through the vendoring rule, plus the
+/// crate-root attribute pass for each `crates/` crate. Findings are sorted
+/// by `(file, line, rule)`.
+pub fn lint_tree(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_files(root, root, &mut files)?;
+    files.sort();
+
+    let ws = match fs::read_to_string(root.join("Cargo.toml")) {
+        Ok(content) => WorkspaceDeps::from_root_manifest(&content),
+        Err(_) => WorkspaceDeps::default(),
+    };
+
+    let mut findings = Vec::new();
+    for rel in &files {
+        let content = fs::read_to_string(root.join(rel))?;
+        if rel.file_name().is_some_and(|n| n == "Cargo.toml") {
+            findings.extend(lint_manifest(rel, &content, &ws));
+            // The crate-root attribute half of unsafe-hygiene: every crate
+            // under crates/ must pin its unsafe posture at the root.
+            let mut comps = rel.components();
+            let under_crates = comps.next().is_some_and(|c| c.as_os_str() == "crates");
+            let is_crate_manifest = under_crates && comps.clone().count() == 2;
+            if is_crate_manifest {
+                let crate_dir = rel.parent().unwrap_or(Path::new(""));
+                for root_file in ["src/lib.rs", "src/main.rs"] {
+                    let rel_root = crate_dir.join(root_file);
+                    if let Ok(src) = fs::read_to_string(root.join(&rel_root)) {
+                        findings.extend(check_crate_root_attr(&rel_root, &src));
+                    }
+                }
+            }
+        } else {
+            findings.extend(lint_source(rel, &content));
+        }
+    }
+    findings.sort();
+    findings.dedup();
+    Ok(findings)
+}
+
+/// Walks upward from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(content) = fs::read_to_string(&manifest) {
+            if content.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,7 @@
+// Fixture: malformed lint:allow annotations.
+
+// lint:allow(not-a-rule, suppressing something that does not exist)
+pub fn unknown_rule() {}
+
+// lint:allow(wall-clock)
+pub fn missing_reason() {}

@@ -1,0 +1,3 @@
+//! Fixture: a crate root with no unsafe-code posture attribute.
+
+pub fn missing_posture() {}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root that declares its unsafe-code posture.
+
+#![forbid(unsafe_code)]
+
+pub fn ok() {}

@@ -1,0 +1,6 @@
+// Fixture: f64 reduction over an unordered iterator in a cost-model crate.
+use std::collections::HashMap;
+
+pub fn total_energy(m: &HashMap<u32, f64>) -> f64 {
+    m.values().copied().sum()
+}

@@ -1,0 +1,8 @@
+// Fixture: the same reduction, made order-stable by sorting first.
+use std::collections::HashMap;
+
+pub fn total_energy(m: &HashMap<u32, f64>) -> f64 {
+    let mut vals = m.values().copied().collect::<Vec<f64>>();
+    vals.sort_by(f64::total_cmp);
+    vals.iter().sum()
+}

@@ -1,0 +1,10 @@
+// Fixture: iterating a HashMap straight into output order.
+use std::collections::HashMap;
+
+pub fn names(m: &HashMap<u32, String>) -> Vec<String> {
+    let mut out = Vec::new();
+    for v in m.values() {
+        out.push(v.clone());
+    }
+    out
+}

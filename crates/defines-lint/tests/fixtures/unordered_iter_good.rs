@@ -1,0 +1,13 @@
+// Fixture: the same iteration, made deterministic by sorting at the boundary.
+use std::collections::HashMap;
+
+pub fn names(m: &HashMap<u32, String>) -> Vec<String> {
+    let mut out = m.values().cloned().collect::<Vec<_>>();
+    out.sort();
+    out
+}
+
+pub fn count(m: &HashMap<u32, String>) -> usize {
+    // lint:allow(unordered-iter, counting is order-independent)
+    m.keys().count()
+}

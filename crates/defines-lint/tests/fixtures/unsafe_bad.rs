@@ -1,0 +1,8 @@
+// Fixture: unsafe sites with no SAFETY comments.
+pub unsafe fn read_first(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}
+
+pub fn call(x: &u32) -> u32 {
+    unsafe { read_first(x as *const u32) }
+}

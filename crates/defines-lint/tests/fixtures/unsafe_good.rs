@@ -1,0 +1,12 @@
+// Fixture: the same unsafe sites, each with its contract stated.
+// SAFETY: caller must pass a pointer to a live, aligned u32.
+pub unsafe fn read_first(ptr: *const u32) -> u32 {
+    // SAFETY: the function contract above guarantees `ptr` is valid.
+    unsafe { *ptr }
+}
+
+pub fn call(x: &u32) -> u32 {
+    // SAFETY: `x` is a live reference, so the raw pointer derived from it
+    // satisfies `read_first`'s contract for the duration of the call.
+    unsafe { read_first(x as *const u32) }
+}

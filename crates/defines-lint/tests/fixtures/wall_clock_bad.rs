@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads in an engine-path crate.
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_nanos() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}
+
+pub fn seed() -> SystemTime {
+    SystemTime::now()
+}

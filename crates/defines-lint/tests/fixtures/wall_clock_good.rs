@@ -1,0 +1,8 @@
+// Fixture: a justified wall-clock read, annotated at the site.
+use std::time::Instant;
+
+pub fn elapsed_nanos() -> u128 {
+    // lint:allow(wall-clock, fixture — elapsed feeds a human-facing log line only)
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,71 @@
+//! The gating test: the real workspace tree must be lint-clean.
+//!
+//! This is the same check CI's `lint` job runs via the binary; having it as a
+//! test too means a plain `cargo test` catches a regression even when the
+//! lint job is skipped or edited.
+
+use defines_lint::{find_workspace_root, lint_tree};
+use std::path::Path;
+
+#[test]
+fn live_workspace_has_no_findings() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("defines-lint must live inside the workspace");
+    let findings = lint_tree(&root).expect("workspace walk");
+    assert!(
+        findings.is_empty(),
+        "the workspace tree must lint clean; fix or annotate these sites:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// End-to-end walk over a synthetic mini-workspace with known violations:
+/// exercises the walker + manifest pass + crate-root-attribute pass together,
+/// which the per-file fixtures cannot.
+#[test]
+fn lint_tree_reports_violations_in_a_synthetic_workspace() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-mini-ws");
+    let demo = root.join("crates/demo/src");
+    std::fs::create_dir_all(&demo).expect("mkdir");
+    std::fs::write(
+        root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/demo\"]\n",
+    )
+    .expect("root manifest");
+    std::fs::write(
+        root.join("crates/demo/Cargo.toml"),
+        "[package]\nname = \"demo\"\nversion = \"0.1.0\"\n\n\
+         [dependencies]\nrand = \"0.8\"\n",
+    )
+    .expect("demo manifest");
+    std::fs::write(
+        demo.join("lib.rs"),
+        "pub fn stamp() -> u128 {\n    \
+             std::time::SystemTime::now()\n        \
+             .duration_since(std::time::UNIX_EPOCH)\n        \
+             .map(|d| d.as_nanos())\n        \
+             .unwrap_or(0)\n}\n",
+    )
+    .expect("demo lib");
+
+    let findings = lint_tree(&root).expect("walk");
+    let rendered = findings
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    // One registry dep, one missing posture attribute, one wall-clock read.
+    assert_eq!(findings.len(), 3, "{rendered}");
+    assert!(rendered.contains("[vendoring]"), "{rendered}");
+    assert!(rendered.contains("[unsafe-hygiene]"), "{rendered}");
+    assert!(rendered.contains("[wall-clock]"), "{rendered}");
+    // Findings are workspace-relative and deterministically ordered.
+    assert!(
+        rendered.starts_with("crates/demo/Cargo.toml:6:"),
+        "{rendered}"
+    );
+}

@@ -34,6 +34,7 @@
 //! assert!(cost.latency_cycles >= cost.macs as f64 / 1024.0);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

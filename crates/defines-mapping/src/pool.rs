@@ -73,6 +73,8 @@ struct CtxPtr(*const SearchCtx<'static, 'static>);
 // `run_parallel`), and the deref protocol above confines accesses to the
 // owner's stack frame lifetime.
 unsafe impl Send for CtxPtr {}
+// SAFETY: same contract as `Send` above — the pointee is `Sync` and the deref
+// protocol confines shared accesses to the owner's stack frame lifetime.
 unsafe impl Sync for CtxPtr {}
 
 /// Claim/progress state of one job, behind the job's mutex.

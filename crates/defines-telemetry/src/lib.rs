@@ -49,6 +49,7 @@
 //! telemetry::set_metrics(false);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -11,12 +11,18 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System`; the only extra work is a relaxed
+// atomic increment, which cannot allocate or violate the GlobalAlloc contract.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwards the caller's layout to `System.alloc` unchanged, so the
+    // caller's obligations (non-zero size) transfer directly.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: forwards ptr/layout to `System.dealloc` unchanged; the caller
+    // guarantees they match a prior `alloc` from this allocator.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }

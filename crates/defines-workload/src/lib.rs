@@ -30,6 +30,7 @@
 //! assert!(summary.max_feature_map_bytes > 100 * summary.total_weight_bytes);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -81,15 +81,23 @@ struct Inner<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
 }
 
-// The slot array is only written by the owner before any concurrent access
-// (single-phase restriction) and each slot is consumed at most once, guarded
-// by the top/bottom protocol below.
+// SAFETY: `Inner<T>` is a plain slot array plus atomics; sending it moves the
+// owned `T` values with it, which `T: Send` permits. The `UnsafeCell`s never
+// hand out references across threads without the top/bottom claim protocol.
 unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: the slot array is only written by the owner before any concurrent
+// access (single-phase restriction) and each slot is consumed at most once,
+// guarded by the top/bottom claim protocol below — so shared references never
+// race on a slot, even though `UnsafeCell` removes the automatic `Sync` impl.
 unsafe impl<T: Send> Sync for Inner<T> {}
 
 impl<T> Inner<T> {
     /// Reads slot `index` out of the buffer. Caller must hold unique claim
     /// to the slot (a successful CAS on `top`, or the owner protocol).
+    // SAFETY: `index` is in-bounds and was claimed exactly once by the caller
+    // (contract above), and every slot below `bottom` was initialized by
+    // `push` before publication — so the read is of an initialized value and
+    // no second reader can observe it.
     unsafe fn take(&self, index: usize) -> T {
         (*self.slots[index].get()).assume_init_read()
     }
@@ -154,6 +162,9 @@ impl<T> Worker<T> {
         // and the bottom index agree and the slot is untouched.
         debug_assert_eq!(inner.pushed.load(Ordering::Relaxed), b);
         debug_assert_eq!(inner.top.load(Ordering::Relaxed), 0);
+        // SAFETY: `b < slots.len()` (checked above) and slot `b` is above
+        // `bottom`, so no stealer reads it until the Release store below
+        // publishes it; the owner is the only writer (single phase).
         unsafe { (*inner.slots[b].get()).write(value) };
         inner.pushed.store(b + 1, Ordering::Relaxed);
         // Publish: a stealer that Acquire-loads the new bottom sees the
@@ -179,6 +190,9 @@ impl<T> Worker<T> {
         let t = inner.top.load(Ordering::Relaxed);
         if t < b {
             // More than one value left: the slot is unambiguously ours.
+            // SAFETY: `t < b` after the SeqCst fence means no stealer can
+            // CAS `top` past `b` before observing our decremented `bottom`,
+            // so slot `b` is claimed uniquely by this owner thread.
             return Some(unsafe { inner.take(b) });
         }
         if t == b {
@@ -188,6 +202,8 @@ impl<T> Worker<T> {
                 .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok();
             inner.bottom.store(b + 1, Ordering::Relaxed);
+            // SAFETY: the successful CAS on `top` is the unique claim on slot
+            // `b` — any stealer racing for the same slot lost the CAS.
             return won.then(|| unsafe { inner.take(b) });
         }
         // Empty (a stealer took the last value first): restore bottom.
@@ -219,6 +235,9 @@ impl<T> Stealer<T> {
             .top
             .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
         {
+            // SAFETY: winning the CAS on `top` claims slot `t` uniquely, and
+            // the Acquire load of `bottom` above synchronized with the
+            // owner's Release store, so the slot's contents are visible.
             Ok(_) => Steal::Success(unsafe { inner.take(t) }),
             Err(_) => Steal::Retry,
         }
@@ -238,6 +257,9 @@ impl<T> Drop for Inner<T> {
         let t = *self.top.get_mut();
         let b = *self.bottom.get_mut();
         for i in t..b {
+            // SAFETY: `&mut self` guarantees no concurrent handles; slots in
+            // `[top, bottom)` are exactly the pushed-but-never-consumed
+            // values, so each is initialized and dropped exactly once here.
             unsafe { (*self.slots[i].get()).assume_init_drop() };
         }
     }
