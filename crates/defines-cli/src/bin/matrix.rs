@@ -18,8 +18,8 @@
 
 use clap::{Arg, ArgAction, Command};
 use defines_cli::{
-    parse_fuse_policy, parse_modes, parse_target, resolve_accelerator, resolve_workload, tile_grid,
-    ACCELERATORS, WORKLOADS,
+    parse_budget, parse_deadline, parse_fuse_policy, parse_modes, parse_target,
+    resolve_accelerator, resolve_workload, tile_grid, ACCELERATORS, WORKLOADS,
 };
 use defines_core::matrix::{run_matrix, MatrixConfig};
 use defines_core::FusePolicy;
@@ -107,6 +107,39 @@ fn main() {
                 .action(ArgAction::SetTrue)
                 .help("Use the exhaustive temporal-mapping search instead of the fast one"),
         )
+        .arg(
+            Arg::new("budget")
+                .long("budget")
+                .value_name("ORD[,DP]")
+                .help(
+                    "Deterministic search budget per cell: max candidate orderings per \
+                     mapping search, optionally followed by max DP relaxation steps \
+                     (0 = unlimited). Budget-capped cells are flagged degraded",
+                ),
+        )
+        .arg(
+            Arg::new("deadline")
+                .long("deadline")
+                .value_name("SECS")
+                .help(
+                    "Wall-clock limit in seconds, checked between cells: cells starting \
+                     after it expires are marked failed; completed cells are unaffected \
+                     (rerun with --resume to finish them)",
+                ),
+        )
+        .arg(
+            Arg::new("checkpoint")
+                .long("checkpoint")
+                .value_name("FILE")
+                .help(
+                    "Append each finished cell to a JSONL checkpoint; if FILE already \
+                     has cells from the same grid, they are skipped and the run resumes",
+                ),
+        )
+        .arg(Arg::new("resume").long("resume").value_name("FILE").help(
+            "Resume from an existing checkpoint (like --checkpoint, but errors \
+                     if FILE is missing or empty instead of starting fresh)",
+        ))
         .arg(
             Arg::new("json")
                 .long("json")
@@ -198,6 +231,40 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
         (tilex, tiley) => Some(tile_grid(&workloads[0], tilex, tiley)?),
     };
 
+    let budget = match matches.value_of("budget") {
+        Some(spec) => parse_budget(spec)?,
+        None => defines_mapping::Budget::unlimited(),
+    };
+    let deadline = matches
+        .value_of("deadline")
+        .map(parse_deadline)
+        .transpose()?;
+    let checkpoint = match (matches.value_of("checkpoint"), matches.value_of("resume")) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "--checkpoint and --resume cannot be combined (both name the \
+                        same file; --resume just insists it already exists)"
+                    .into(),
+            )
+        }
+        (Some(path), None) => Some(std::path::PathBuf::from(path)),
+        (None, Some(path)) => {
+            // --resume demands an existing, non-empty checkpoint: a typo'd
+            // path silently starting a fresh run would be a footgun.
+            let is_populated = std::fs::metadata(path)
+                .map(|m| m.len() > 0)
+                .unwrap_or(false);
+            if !is_populated {
+                return Err(format!(
+                    "nothing to resume: '{path}' is missing or empty (use --checkpoint \
+                     to start a new checkpointed run)"
+                ));
+            }
+            Some(std::path::PathBuf::from(path))
+        }
+        (None, None) => None,
+    };
+
     let mut engine = EngineConfig::parallel();
     if threads > 0 {
         engine = engine.with_threads(threads);
@@ -206,6 +273,9 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
         engine,
         fast_mapper: !matches.get_flag("full-mapper"),
         search_threads,
+        budget,
+        deadline,
+        checkpoint,
         ..MatrixConfig::default()
     };
 
@@ -231,12 +301,21 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
         &config,
         |cell| {
             done += 1;
-            if !quiet {
+            if let Some(error) = &cell.error {
+                // Failures stream even under --quiet: a silently dropped
+                // cell would misreport the matrix as complete.
+                eprintln!("[{done:>width$}/{total}] {}  FAILED: {error}", cell.label);
+            } else if !quiet {
                 println!(
-                    "[{done:>width$}/{total}] {}  {target} {:.4e}  ({} stacks)",
+                    "[{done:>width$}/{total}] {}  {target} {:.4e}  ({} stacks){}",
                     cell.label,
                     cell.value,
                     cell.stacks.len(),
+                    if cell.degraded {
+                        "  [budget-degraded]"
+                    } else {
+                        ""
+                    },
                 );
             }
         },
@@ -245,10 +324,17 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
 
     println!("\nranking ({target}, best strategy per workload):");
     for entry in &report.ranking {
-        println!(
-            "  {:>2}. {:<22} total {:.4e}  ({:.3}x of best)",
-            entry.rank, entry.accelerator, entry.total_value, entry.ratio_to_best,
-        );
+        if entry.total_value == f64::MAX {
+            println!(
+                "  {:>2}. {:<22} starved (a workload had no successful cell)",
+                entry.rank, entry.accelerator,
+            );
+        } else {
+            println!(
+                "  {:>2}. {:<22} total {:.4e}  ({:.3}x of best)",
+                entry.rank, entry.accelerator, entry.total_value, entry.ratio_to_best,
+            );
+        }
     }
     println!(
         "\nengine          : {} cells in {:.1} ms on {} threads (inner searches: {} design \
@@ -291,6 +377,23 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
         }
     }
 
+    // Fault-tolerance counters, printed only when something actually
+    // happened — a clean run stays visually identical to one without the
+    // fault machinery.
+    let fault = |name: &str| report.metrics.get(name).unwrap_or(0);
+    let (failed, resumed, panics, budget_hits) = (
+        fault("fault.cells_failed"),
+        fault("fault.cells_resumed"),
+        fault("fault.caught_panics"),
+        fault("fault.budget_exhausted"),
+    );
+    if failed + resumed + panics + budget_hits > 0 {
+        println!(
+            "faults          : {failed} cells failed, {resumed} resumed from checkpoint, \
+             {panics} panics caught, {budget_hits} budget exhaustions",
+        );
+    }
+
     if let Some(path) = trace_path {
         let events = defines_telemetry::drain_events();
         let trace = defines_telemetry::chrome_trace(&events);
@@ -307,6 +410,20 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
         std::fs::write(path, report.to_markdown())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote markdown report to {path}");
+    }
+
+    // Partial failure must be visible to scripts: the reports above are
+    // complete (failed cells carry their error), but the exit code says the
+    // grid is not — completed cells are checkpointed, so a --resume rerun
+    // only retries the failures.
+    if report.stats.failed > 0 {
+        eprintln!(
+            "warning: {} of {} cells failed (see FAILED lines above); rerun with \
+             --resume to retry them",
+            report.stats.failed,
+            report.cells.len(),
+        );
+        std::process::exit(2);
     }
     Ok(())
 }

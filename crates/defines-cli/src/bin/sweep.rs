@@ -16,8 +16,8 @@
 
 use clap::{Arg, ArgAction, Command};
 use defines_cli::{
-    parse_fuse_policy, parse_modes, parse_target, resolve_accelerator, resolve_workload, tile_grid,
-    ACCELERATORS, WORKLOADS,
+    parse_budget, parse_fuse_policy, parse_modes, parse_target, resolve_accelerator,
+    resolve_workload, tile_grid, ACCELERATORS, WORKLOADS,
 };
 use defines_core::{DfCostModel, Explorer, FusePolicy, ScheduleResult};
 use defines_engine::{EngineConfig, Outcome};
@@ -105,6 +105,16 @@ fn main() {
                 ),
         )
         .arg(
+            Arg::new("budget")
+                .long("budget")
+                .value_name("ORD[,DP]")
+                .help(
+                    "Deterministic search budget: max candidate orderings per mapping \
+                     search, optionally followed by max DP relaxation steps (0 = \
+                     unlimited). Budget-capped results are flagged degraded",
+                ),
+        )
+        .arg(
             Arg::new("no-prune")
                 .long("no-prune")
                 .action(ArgAction::SetTrue)
@@ -174,6 +184,7 @@ fn schedule_to_json(net: &Network, schedule: &ScheduleResult) -> Value {
             Value::Str(schedule.policy.keyword().to_string()),
         ),
         ("candidates".into(), Value::U64(schedule.candidates as u64)),
+        ("degraded".into(), Value::Bool(schedule.degraded)),
         ("partition".into(), Value::Array(stacks)),
         ("energy_pj".into(), Value::F64(schedule.cost.energy_pj)),
         (
@@ -248,6 +259,9 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
     // After the mapper choice: `with_fast_mapper` replaces the whole mapper
     // configuration, thread count included.
     model = model.with_search_threads(search_threads);
+    if let Some(spec) = matches.value_of("budget") {
+        model = model.with_search_budget(parse_budget(spec)?);
+    }
 
     let mut config = EngineConfig::parallel().with_pruning(!matches.get_flag("no-prune"));
     if threads > 0 {
@@ -336,6 +350,17 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
                             ("pruned".into(), Value::Bool(true)),
                         ])
                     }
+                    Outcome::Failed { error } => {
+                        // Failures stream even under --quiet: a silently
+                        // dropped point would misreport the sweep as complete.
+                        eprintln!("[{done:>width$}/{total}] {}  FAILED: {error}", record.point,);
+                        Value::Object(vec![
+                            ("index".into(), Value::U64(record.index as u64)),
+                            ("strategy".into(), Value::Str(record.point.to_string())),
+                            ("error".into(), Value::Str(error.clone())),
+                            ("pruned".into(), Value::Bool(false)),
+                        ])
+                    }
                 };
                 record_rows.push(row);
             })
@@ -391,6 +416,12 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
         schedule.cost.energy_mj(),
         schedule.cost.latency_mcycles()
     );
+    if schedule.degraded {
+        println!(
+            "  note: search budget exhausted — this schedule is the best found \
+             within --budget, not a proven optimum"
+        );
+    }
     // Ratios are reported against the best result on screen: the searched
     // schedule, or the best swept single strategy when that is stronger
     // (possible under the fixed policies, whose combination search routes
@@ -409,9 +440,14 @@ fn run(matches: &clap::ArgMatches) -> Result<(), String> {
     let engine_stats = sweep_stats.as_ref().unwrap_or(&schedule.stats);
     let cache = model.mapping_cache().stats();
     println!(
-        "engine          : {} evaluated, {} pruned in {:.1} ms on {} threads ({:.0} points/s)",
+        "engine          : {} evaluated, {} pruned{} in {:.1} ms on {} threads ({:.0} points/s)",
         engine_stats.evaluated,
         engine_stats.pruned,
+        if engine_stats.failed > 0 {
+            format!(", {} failed", engine_stats.failed)
+        } else {
+            String::new()
+        },
         engine_stats.elapsed.as_secs_f64() * 1e3,
         engine_stats.threads,
         engine_stats.points_per_second(),

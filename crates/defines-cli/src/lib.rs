@@ -20,7 +20,9 @@
 
 use defines_arch::{zoo, Accelerator};
 use defines_core::{Explorer, FusePolicy, OptimizeTarget, OverlapMode};
+use defines_mapping::Budget;
 use defines_workload::{models, Network};
+use std::time::Duration;
 
 /// The workloads selectable by `--workload`.
 pub const WORKLOADS: [&str; 6] = [
@@ -290,6 +292,55 @@ pub fn parse_fuse_policy(name: &str) -> Result<FusePolicy, String> {
     }
 }
 
+/// Parses the `--budget` deterministic search budget: `ORDERINGS` or
+/// `ORDERINGS,DP_NODES`. The first number caps candidate orderings per
+/// temporal-mapping search, the second caps relaxation steps per
+/// fusion-partition DP; `0` means unlimited for either. Budgets are counted
+/// in deterministic work units, so a budgeted run is bit-identical at any
+/// thread count; results that hit a cap are flagged `degraded`.
+///
+/// # Errors
+///
+/// Returns a message for non-numeric entries or more than two fields.
+pub fn parse_budget(input: &str) -> Result<Budget, String> {
+    let parts: Vec<&str> = input.split(',').collect();
+    if parts.is_empty() || parts.len() > 2 {
+        return Err("--budget expects ORDERINGS or ORDERINGS,DP_NODES (0 = unlimited)".into());
+    }
+    let parse = |part: &str| -> Result<u64, String> {
+        part.trim().parse().map_err(|_| {
+            format!("invalid --budget entry '{part}': expected a non-negative integer")
+        })
+    };
+    Ok(Budget {
+        max_orderings: parse(parts[0])?,
+        max_dp_nodes: if parts.len() == 2 {
+            parse(parts[1])?
+        } else {
+            0
+        },
+    })
+}
+
+/// Parses the `--deadline` wall-clock limit, in (possibly fractional)
+/// seconds. The deadline is checked between cells, never inside a search:
+/// cells that start after it expires are marked failed, completed cells stay
+/// bit-identical.
+///
+/// # Errors
+///
+/// Returns a message for non-numeric, non-finite or non-positive input.
+pub fn parse_deadline(input: &str) -> Result<Duration, String> {
+    let secs: f64 = input
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid --deadline '{input}': expected seconds (e.g. 30 or 0.5)"))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err("--deadline must be a positive number of seconds".into());
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
 /// Parses the `--target` name.
 ///
 /// # Errors
@@ -413,6 +464,33 @@ mod tests {
         assert_eq!(parse_target("energy").unwrap(), OptimizeTarget::Energy);
         assert_eq!(parse_target("edp").unwrap(), OptimizeTarget::Edp);
         assert!(parse_target("speed").is_err());
+    }
+
+    #[test]
+    fn budgets_parse() {
+        assert_eq!(parse_budget("5000").unwrap(), Budget::orderings(5000));
+        assert_eq!(
+            parse_budget("5000,200").unwrap(),
+            Budget {
+                max_orderings: 5000,
+                max_dp_nodes: 200
+            }
+        );
+        assert_eq!(parse_budget("0").unwrap(), Budget::unlimited());
+        assert_eq!(parse_budget(" 10 , 20 ").unwrap().max_dp_nodes, 20);
+        assert!(parse_budget("x").is_err());
+        assert!(parse_budget("1,2,3").is_err());
+        assert!(parse_budget("-1").is_err());
+    }
+
+    #[test]
+    fn deadlines_parse() {
+        assert_eq!(parse_deadline("30").unwrap(), Duration::from_secs(30));
+        assert_eq!(parse_deadline("0.5").unwrap(), Duration::from_millis(500));
+        assert!(parse_deadline("0").is_err());
+        assert!(parse_deadline("-2").is_err());
+        assert!(parse_deadline("inf").is_err());
+        assert!(parse_deadline("soon").is_err());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use defines_telemetry::{span, Counter};
 use defines_workload::{Layer, LayerDims, Network};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Errors produced while evaluating a network.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -143,6 +143,8 @@ struct TileEval {
     weight_access: AccessBreakdown,
     copy_access: AccessBreakdown,
     energy_summary: EnergySummary,
+    /// Whether any single-layer search in this tile exhausted its budget.
+    degraded: bool,
 }
 
 impl<'a> fmt::Debug for DfCostModel<'a> {
@@ -169,19 +171,22 @@ impl<'a> DfCostModel<'a> {
         }
     }
 
+    /// Locks the scratch pool, recovering from poisoning. Sound: the guard
+    /// only ever covers a single `pop` or `push` of an owned buffer — neither
+    /// can be observed half-done, and a buffer abandoned by a panicking
+    /// evaluation is simply re-cleared on reuse — so the poison flag carries
+    /// no information and recovery keeps later evaluations working after an
+    /// engine worker caught a panic.
+    fn lock_scratch(&self) -> MutexGuard<'_, Vec<EvalScratch>> {
+        self.scratch.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn take_scratch(&self) -> EvalScratch {
-        self.scratch
-            .lock()
-            .expect("scratch pool poisoned")
-            .pop()
-            .unwrap_or_default()
+        self.lock_scratch().pop().unwrap_or_default()
     }
 
     fn put_scratch(&self, scratch: EvalScratch) {
-        self.scratch
-            .lock()
-            .expect("scratch pool poisoned")
-            .push(scratch);
+        self.lock_scratch().push(scratch);
     }
 
     /// The accelerator under evaluation.
@@ -220,6 +225,18 @@ impl<'a> DfCostModel<'a> {
     /// cache fingerprint — cache entries are shared across thread counts.
     pub fn with_search_threads(mut self, threads: usize) -> Self {
         self.mapper = LomaMapper::new(self.mapper.config().with_search_threads(threads));
+        self
+    }
+
+    /// Sets the deterministic work budget of the single-layer mapping search
+    /// (and, through [`crate::Explorer`], of the fused-partition DP). The
+    /// budget is counted in deterministic work units — never wall-clock — so
+    /// budgeted results stay bit-identical at any thread count; exhausting it
+    /// flags the affected costs [`degraded`](crate::StackCost::degraded)
+    /// instead of failing. Budgets participate in the mapper's cache
+    /// fingerprint, so differently budgeted runs never share cache entries.
+    pub fn with_search_budget(mut self, budget: defines_mapping::Budget) -> Self {
+        self.mapper = LomaMapper::new(self.mapper.config().with_budget(budget));
         self
     }
 
@@ -396,6 +413,7 @@ impl<'a> DfCostModel<'a> {
                 weight_access: eval.weight_access,
                 copy_access: eval.copy_access,
                 energy_summary: eval.energy_summary,
+                degraded: eval.degraded,
             });
         }
         self.put_scratch(scratch);
@@ -408,6 +426,7 @@ impl<'a> DfCostModel<'a> {
         let mut weight = AccessBreakdown::new();
         let mut copy = AccessBreakdown::new();
         let mut summary = EnergySummary::default();
+        let mut degraded = false;
         for t in &type_costs {
             let f = t.count as f64;
             energy += t.energy_pj * f;
@@ -417,6 +436,7 @@ impl<'a> DfCostModel<'a> {
             weight.merge_scaled(&t.weight_access, f);
             copy.merge_scaled(&t.copy_access, f);
             summary.accumulate(&t.energy_summary.scaled(f));
+            degraded |= t.degraded;
         }
 
         StackCost {
@@ -430,6 +450,7 @@ impl<'a> DfCostModel<'a> {
             weight_access: weight,
             copy_access: copy,
             energy_summary: summary,
+            degraded,
         }
     }
 
@@ -456,6 +477,7 @@ impl<'a> DfCostModel<'a> {
         let mut weight_access = AccessBreakdown::new();
         let mut copy_access = AccessBreakdown::new();
         let mut mac_energy = 0.0;
+        let mut degraded = false;
         // Where each stack layer's freshly produced output resides, by stack
         // position (`analysis.layers` is in stack order).
         let output_levels = &mut scratch.output_levels;
@@ -582,6 +604,7 @@ impl<'a> DfCostModel<'a> {
             latency += layer_cost.latency_cycles + copies.latency_cycles;
             macs += layer_cost.macs;
             mac_energy += layer_cost.mac_energy_pj;
+            degraded |= layer_cost.degraded;
             copy_access.merge(&copies.accesses);
             for (level, operand, access) in layer_cost.accesses.iter() {
                 let target = if operand == Operand::Weight {
@@ -611,6 +634,7 @@ impl<'a> DfCostModel<'a> {
             weight_access,
             copy_access,
             energy_summary: summary,
+            degraded,
         }
     }
 

@@ -12,7 +12,7 @@
 
 use crate::bounds::StrategyBounds;
 use crate::evaluate::{DfCostModel, EvaluationError};
-use crate::fuse::{enumerate_candidates, optimal_partition, stack_span, FusePolicy};
+use crate::fuse::{enumerate_candidates, optimal_partition_budgeted, stack_span, FusePolicy};
 use crate::result::{NetworkCost, StackCost};
 use crate::stack::{partition_into_stacks, FuseDepth, Stack};
 use crate::strategy::{DfStrategy, OverlapMode, TileSize};
@@ -138,6 +138,11 @@ pub struct ScheduleResult {
     pub candidates: usize,
     /// Statistics of the flattened engine run that evaluated the candidates.
     pub stats: SweepStats,
+    /// Whether any part of the search ran out of its deterministic work
+    /// budget ([`defines_mapping::Budget`]): a chosen stack's mapping search
+    /// ([`NetworkCost::degraded`]) or the fuse-partition DP. The schedule is
+    /// then the exact optimum of the searched subset only.
+    pub degraded: bool,
 }
 
 impl ScheduleResult {
@@ -278,12 +283,20 @@ impl<'a> Explorer<'a> {
         partition_into_stacks(net, self.model.accelerator(), &self.fuse)
     }
 
-    /// Unwraps the cost of a record from an unpruned engine run.
+    /// Unwraps the cost of a record from an unpruned engine run. A `Failed`
+    /// record (the engine caught a panic while evaluating the point)
+    /// re-raises the structured error: explorer entry points promise
+    /// complete result sets, so the failure propagates to the caller's
+    /// isolation boundary — the matrix runner's per-cell catch — instead of
+    /// being silently dropped.
     fn evaluated_cost<C>(outcome: defines_engine::Outcome<C>) -> C {
         match outcome {
             defines_engine::Outcome::Evaluated { cost, .. } => cost,
             defines_engine::Outcome::Pruned { .. } => {
                 unreachable!("record carries no cost: the point was pruned")
+            }
+            defines_engine::Outcome::Failed { error } => {
+                panic!("design point evaluation failed: {error}")
             }
         }
     }
@@ -498,8 +511,9 @@ impl<'a> Explorer<'a> {
     /// [`enumerate_candidates`]) and the
     /// globally optimal partition is selected by shortest-path dynamic
     /// programming over the layer cut boundaries
-    /// ([`optimal_partition`]) — exact for
-    /// the additive targets because
+    /// ([`crate::fuse::optimal_partition`], budgeted by the model's
+    /// [`Budget::max_dp_nodes`](defines_mapping::Budget::max_dp_nodes)) —
+    /// exact for the additive targets because
     /// [`NetworkCost::from_stacks`](crate::NetworkCost::from_stacks) sums per
     /// stack, and therefore never worse than the [`FusePolicy::Auto`]
     /// combination on the same grid.
@@ -540,11 +554,13 @@ impl<'a> Explorer<'a> {
                     });
                     stack_costs.push(cost);
                 }
+                let cost = NetworkCost::from_stacks(stack_costs);
                 Ok(ScheduleResult {
                     policy: policy.clone(),
                     candidates: choices.len(),
                     choices,
-                    cost: NetworkCost::from_stacks(stack_costs),
+                    degraded: cost.degraded,
+                    cost,
                     stats,
                 })
             }
@@ -561,8 +577,10 @@ impl<'a> Explorer<'a> {
                     self.best_choice_per_stack(net, &candidates, tile_sizes, modes, target);
                 let spans: Vec<(usize, usize)> = candidates.iter().map(stack_span).collect();
                 let values: Vec<f64> = best.iter().map(|b| b.2).collect();
-                let (chosen, _) = optimal_partition(net.len(), &spans, &values)
-                    .expect("single-layer candidates make every partition boundary reachable");
+                let dp_budget = self.model.mapper_config().budget.max_dp_nodes;
+                let (chosen, _, dp_degraded) =
+                    optimal_partition_budgeted(net.len(), &spans, &values, dp_budget)
+                        .expect("single-layer candidates make every partition boundary reachable");
                 // The chosen candidate indices are distinct (they tile the
                 // network), so their choices and stacks can be moved out
                 // instead of cloned.
@@ -583,11 +601,13 @@ impl<'a> Explorer<'a> {
                     });
                     stack_costs.push(cost);
                 }
+                let cost = NetworkCost::from_stacks(stack_costs);
                 Ok(ScheduleResult {
                     policy: policy.clone(),
                     candidates: candidates.len(),
                     choices,
-                    cost: NetworkCost::from_stacks(stack_costs),
+                    degraded: dp_degraded || cost.degraded,
+                    cost,
                     stats,
                 })
             }
@@ -677,8 +697,15 @@ impl<'a> Explorer<'a> {
             (0..stacks.len()).map(|_| None).collect();
         for record in records {
             let (stack_idx, tile, mode) = record.point;
-            let value = record.value().expect("combination search never prunes");
-            let cost = Self::evaluated_cost(record.outcome);
+            let (value, cost) = match record.outcome {
+                defines_engine::Outcome::Evaluated { cost, value } => (value, cost),
+                defines_engine::Outcome::Pruned { .. } => {
+                    unreachable!("combination search never prunes")
+                }
+                defines_engine::Outcome::Failed { error } => {
+                    panic!("design point evaluation failed: {error}")
+                }
+            };
             let slot = &mut best[stack_idx];
             let better = match slot {
                 None => true,

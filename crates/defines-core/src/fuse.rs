@@ -215,12 +215,41 @@ pub fn optimal_partition(
     spans: &[(usize, usize)],
     values: &[f64],
 ) -> Option<(Vec<usize>, f64)> {
+    optimal_partition_budgeted(num_layers, spans, values, 0)
+        .map(|(chosen, total, _degraded)| (chosen, total))
+}
+
+/// [`optimal_partition`] under a deterministic work budget: at most
+/// `max_dp_nodes` multi-layer candidate relaxations are performed (`0` means
+/// unlimited), counted in the DP's fixed boundary-then-candidate order so the
+/// cutoff is a pure function of the input, never of timing.
+///
+/// Single-layer spans are always relaxed for free: they are what keeps every
+/// cut boundary reachable, so an exhausted budget degrades the search toward
+/// the shallow (layer-by-layer) partition instead of failing. The returned
+/// flag is `true` iff at least one candidate was skipped — the result is
+/// then the exact optimum over the *relaxed* subset only, and a larger
+/// budget might find a better partition.
+pub fn optimal_partition_budgeted(
+    num_layers: usize,
+    spans: &[(usize, usize)],
+    values: &[f64],
+    max_dp_nodes: u64,
+) -> Option<(Vec<usize>, f64, bool)> {
+    /// Multi-layer DP relaxations skipped because the fuse-search budget ran
+    /// out ([`defines_mapping::Budget::max_dp_nodes`]).
+    static DP_SKIPPED: Counter = Counter::new("fuse.dp_skipped_budget");
     let _span = span!("fuse.partition_dp");
     assert_eq!(
         spans.len(),
         values.len(),
         "one value per candidate span required"
     );
+    let cap = if max_dp_nodes == 0 {
+        u64::MAX
+    } else {
+        max_dp_nodes
+    };
     let mut by_end: Vec<Vec<usize>> = vec![Vec::new(); num_layers + 1];
     for (idx, &(start, end)) in spans.iter().enumerate() {
         assert!(
@@ -232,9 +261,18 @@ pub fn optimal_partition(
     let mut best = vec![f64::INFINITY; num_layers + 1];
     let mut parent: Vec<Option<usize>> = vec![None; num_layers + 1];
     best[0] = 0.0;
+    let mut relaxed = 0u64;
+    let mut skipped = 0u64;
     for end in 1..=num_layers {
         for &idx in &by_end[end] {
             let (start, _) = spans[idx];
+            if end - start > 1 {
+                if relaxed >= cap {
+                    skipped += 1;
+                    continue;
+                }
+                relaxed += 1;
+            }
             if !best[start].is_finite() {
                 continue;
             }
@@ -245,6 +283,7 @@ pub fn optimal_partition(
             }
         }
     }
+    DP_SKIPPED.add(skipped);
     if !best[num_layers].is_finite() {
         return None;
     }
@@ -256,7 +295,7 @@ pub fn optimal_partition(
         boundary = spans[idx].0;
     }
     chosen.reverse();
-    Some((chosen, best[num_layers]))
+    Some((chosen, best[num_layers], skipped > 0))
 }
 
 /// Exhaustive reference for [`optimal_partition`]: enumerates every way of
@@ -396,6 +435,63 @@ mod tests {
         // No candidate covers layer 1.
         assert!(optimal_partition(2, &[(0, 1)], &[1.0]).is_none());
         assert!(brute_force_partition(2, &[(0, 1)], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn budgeted_dp_degrades_gracefully_and_deterministically() {
+        // Dense candidate set over 6 layers with pseudo-random values.
+        let n = 6;
+        let mut spans = Vec::new();
+        let mut values = Vec::new();
+        let mut state = 0xdeadbeefcafef00du64;
+        for s in 0..n {
+            for e in (s + 1)..=n {
+                spans.push((s, e));
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                values.push((state % 1000) as f64 / 10.0);
+            }
+        }
+        let (full_chosen, full_total, full_degraded) =
+            optimal_partition_budgeted(n, &spans, &values, 0).unwrap();
+        assert!(!full_degraded, "unlimited budget never degrades");
+        assert_eq!(
+            optimal_partition(n, &spans, &values).unwrap(),
+            (full_chosen.clone(), full_total),
+            "unlimited budgeted DP is the plain DP"
+        );
+        // A generous budget covering every multi-layer candidate is also
+        // un-degraded and identical.
+        let multi = spans.iter().filter(|(s, e)| e - s > 1).count() as u64;
+        let (chosen, total, degraded) =
+            optimal_partition_budgeted(n, &spans, &values, multi).unwrap();
+        assert!(!degraded);
+        assert_eq!((chosen, total), (full_chosen, full_total));
+        // Tiny budgets always complete (single-layer spans are free), are
+        // flagged degraded whenever a candidate was skipped, never beat the
+        // optimum, and are reproducible.
+        for budget in 1..multi {
+            let (chosen, total, degraded) =
+                optimal_partition_budgeted(n, &spans, &values, budget).unwrap();
+            assert!(
+                total >= full_total - 1e-9,
+                "budget {budget} beat the optimum"
+            );
+            // The chosen spans tile 0..n.
+            let mut boundary = 0;
+            for &idx in &chosen {
+                assert_eq!(spans[idx].0, boundary);
+                boundary = spans[idx].1;
+            }
+            assert_eq!(boundary, n);
+            let again = optimal_partition_budgeted(n, &spans, &values, budget).unwrap();
+            assert_eq!(again.0, chosen, "budgeted DP must be reproducible");
+            assert_eq!(again.2, degraded);
+        }
+        // A budget of 1 skips candidates on this dense set.
+        let (_, _, degraded) = optimal_partition_budgeted(n, &spans, &values, 1).unwrap();
+        assert!(degraded, "a budget of 1 must be flagged degraded here");
     }
 
     #[test]

@@ -52,6 +52,7 @@
 pub mod backcalc;
 pub mod baselines;
 pub mod bounds;
+pub mod checkpoint;
 pub mod datacopy;
 pub mod evaluate;
 pub mod explore;
@@ -65,6 +66,7 @@ pub mod strategy;
 pub mod tiling;
 
 pub use bounds::StrategyBounds;
+pub use checkpoint::{Checkpoint, CheckpointHeader};
 pub use evaluate::{DfCostModel, EvaluationError, PreparedNetwork};
 pub use explore::{
     CombinationResult, DfSweepRecord, ExplorationResult, Explorer, OptimizeTarget, ScheduleResult,

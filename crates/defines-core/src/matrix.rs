@@ -17,6 +17,7 @@
 //! ranking table; [`MatrixReport::to_markdown`] renders it for humans and
 //! the [`Serialize`] impl for machines (the `matrix` CLI writes both).
 
+use crate::checkpoint;
 use crate::evaluate::{DfCostModel, EvaluationError};
 use crate::explore::{Explorer, OptimizeTarget, ScheduleResult};
 use crate::fuse::FusePolicy;
@@ -25,10 +26,18 @@ use crate::strategy::OverlapMode;
 use defines_arch::Accelerator;
 use defines_engine::{EngineConfig, SweepEngine, SweepStats};
 use defines_mapping::MappingCache;
-use defines_telemetry::MetricsSnapshot;
+use defines_telemetry::{failpoint, Counter, MetricsSnapshot};
 use defines_workload::Network;
 use serde::{Serialize, Value};
+use std::collections::HashMap;
 use std::fmt;
+use std::time::Duration;
+
+/// Cells whose evaluation panicked (caught and isolated into
+/// [`CellOutcome::error`]) — includes injected faults and missed deadlines.
+static CELLS_FAILED: Counter = Counter::new("fault.cells_failed");
+/// Cells spliced into the report from a checkpoint instead of re-running.
+static CELLS_RESUMED: Counter = Counter::new("fault.cells_resumed");
 
 /// Errors produced by [`run_matrix`].
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +47,9 @@ pub enum MatrixError {
     Config(String),
     /// A cell failed upfront evaluation validation.
     Evaluation(EvaluationError),
+    /// The checkpoint file is unreadable, corrupt, or records a different
+    /// run configuration (see [`crate::checkpoint`]).
+    Checkpoint(String),
 }
 
 impl fmt::Display for MatrixError {
@@ -45,6 +57,7 @@ impl fmt::Display for MatrixError {
         match self {
             MatrixError::Config(msg) => write!(f, "invalid matrix: {msg}"),
             MatrixError::Evaluation(e) => write!(f, "matrix cell cannot be evaluated: {e}"),
+            MatrixError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -75,6 +88,28 @@ pub struct MatrixConfig {
     /// mapping problem additionally share incumbent bounds through the
     /// matrix cache, independent of this knob.
     pub search_threads: usize,
+    /// Deterministic work budget applied to every cell's searches (mapping
+    /// orderings and fusion-DP relaxations, see [`defines_mapping::Budget`]).
+    /// Exhausting it degrades the cell to its best-so-far result
+    /// ([`CellOutcome::degraded`]) — bit-identically at any thread count,
+    /// never by wall clock. Unlimited by default.
+    pub budget: defines_mapping::Budget,
+    /// Hard wall-clock deadline measured from the start of the run. A cell
+    /// whose evaluation *begins* after the deadline expired is marked failed
+    /// (`"matrix deadline … exceeded"` in [`CellOutcome::error`]) without
+    /// being searched. The deadline never reaches inside a running search,
+    /// so every cell that does complete is bit-identical to an undeadlined
+    /// run — wall clock decides only *which* cells fail, never their values.
+    /// Combine with [`MatrixConfig::checkpoint`] to finish the missed cells
+    /// in a later run.
+    pub deadline: Option<Duration>,
+    /// Append-only JSONL checkpoint path (see [`crate::checkpoint`] for the
+    /// format). A missing or empty file is created and each finished cell is
+    /// appended as it completes; an existing file is *resumed*: its header
+    /// must match this run's configuration, recorded cells are spliced into
+    /// the report without re-running, and newly finished cells are appended.
+    /// Failed cells are never recorded, so resuming retries them.
+    pub checkpoint: Option<std::path::PathBuf>,
 }
 
 impl Default for MatrixConfig {
@@ -84,6 +119,9 @@ impl Default for MatrixConfig {
             cache: MappingCache::new(),
             fast_mapper: true,
             search_threads: 1,
+            budget: defines_mapping::Budget::default(),
+            deadline: None,
+            checkpoint: None,
         }
     }
 }
@@ -131,9 +169,24 @@ pub struct CellOutcome {
     pub edp: f64,
     /// Number of candidate stacks that entered the cell's schedule search.
     pub candidates: usize,
+    /// Whether any search inside the cell exhausted its deterministic work
+    /// budget ([`defines_mapping::Budget`]) and returned a best-so-far
+    /// result (see [`ScheduleResult::degraded`]). Always `false` under the
+    /// default unlimited budget.
+    pub degraded: bool,
+    /// The panic message, if the cell's evaluation failed instead of
+    /// producing a schedule — a caught panic, an injected fault, or a missed
+    /// [`MatrixConfig::deadline`]. Failed cells carry NaN values (rendered
+    /// `null` in JSON), an empty stack list, and are skipped by the ranking;
+    /// sibling cells are bit-identical to a run without the failure.
+    pub error: Option<String>,
     /// The chosen stack partition with its per-stack choices.
     pub stacks: Vec<CellStack>,
-    /// Statistics of the cell's inner engine run.
+    /// Statistics of the cell's inner engine run. The per-cell wall-clock
+    /// time is zeroed (it is non-deterministic and the shared cache skews it
+    /// anyway), so cell records — including checkpoint lines — are exactly
+    /// reproducible; the outer [`MatrixReport::stats`] keeps the real
+    /// elapsed time.
     pub stats: SweepStats,
 }
 
@@ -150,7 +203,9 @@ pub struct RankingEntry {
     /// `total_value` relative to the rank-1 accelerator (1.0 for the best).
     pub ratio_to_best: f64,
     /// Per workload (in axis order), the index into
-    /// [`MatrixReport::cells`] of this accelerator's best cell.
+    /// [`MatrixReport::cells`] of this accelerator's best *successful* cell.
+    /// A workload whose cells all failed contributes no entry here and
+    /// `f64::MAX` to `total_value`, ranking the accelerator last.
     pub best_cells: Vec<usize>,
 }
 
@@ -215,6 +270,13 @@ impl MatrixReport {
             self.stats.threads,
             self.inner_stats.evaluated,
         ));
+        let failed = self.cells.iter().filter(|c| c.error.is_some()).count();
+        let degraded = self.cells.iter().filter(|c| c.degraded).count();
+        if failed > 0 || degraded > 0 {
+            out.push_str(&format!(
+                "- faults: {failed} cells failed, {degraded} budget-degraded\n"
+            ));
+        }
         if let Some(cache) = &self.stats.cache {
             out.push_str(&format!(
                 "- shared mapping cache: {} sub-problems, {} hits / {} misses \
@@ -294,8 +356,17 @@ impl MatrixReport {
             self.target
         ));
         for cell in &self.cells {
+            if cell.error.is_some() {
+                out.push_str(&format!(
+                    "| {} | {} | {} | — | — | — | — |\n",
+                    cell.accelerator, cell.workload, cell.fuse,
+                ));
+                continue;
+            }
+            // A `*` marks budget-degraded cells (best-so-far, not optimum).
+            let mark = if cell.degraded { "\\*" } else { "" };
             out.push_str(&format!(
-                "| {} | {} | {} | {:.3} | {:.3} | {:.4e} | {:.4e} |\n",
+                "| {} | {} | {} | {:.3} | {:.3} | {:.4e} | {:.4e}{mark} |\n",
                 cell.accelerator,
                 cell.workload,
                 cell.fuse,
@@ -304,6 +375,16 @@ impl MatrixReport {
                 cell.edp,
                 cell.value,
             ));
+        }
+        if failed > 0 {
+            out.push_str("\n## Failed cells\n\n");
+            for cell in self.cells.iter().filter(|c| c.error.is_some()) {
+                out.push_str(&format!(
+                    "- **{}**: {}\n",
+                    cell.label,
+                    cell.error.as_deref().unwrap_or(""),
+                ));
+            }
         }
         out
     }
@@ -340,6 +421,8 @@ impl Serialize for CellOutcome {
             ("latency_cycles".into(), Value::F64(self.latency_cycles)),
             ("edp".into(), Value::F64(self.edp)),
             ("candidates".into(), Value::U64(self.candidates as u64)),
+            ("degraded".into(), Value::Bool(self.degraded)),
+            ("error".into(), self.error.to_value()),
             (
                 "stacks".into(),
                 Value::Array(self.stacks.iter().map(Serialize::to_value).collect()),
@@ -490,7 +573,9 @@ pub fn run_matrix(
             };
             // After the mapper choice: `with_fast_mapper` replaces the whole
             // mapper configuration, thread count included.
-            model.with_search_threads(config.search_threads)
+            model
+                .with_search_threads(config.search_threads)
+                .with_search_budget(config.budget)
         })
         .collect();
 
@@ -529,6 +614,8 @@ pub fn run_matrix(
             }
         }
     }
+    let cell_index =
+        |ai: usize, wi: usize, pi: usize| (ai * workloads.len() + wi) * policies.len() + pi;
 
     let cell_label = |&(ai, wi, pi): &(usize, usize, usize)| {
         format!(
@@ -537,14 +624,120 @@ pub fn run_matrix(
         )
     };
 
+    // ---- Checkpoint: resume completed cells, open the file for appends ----
+    // The header binds the file to this exact run; anything that shapes cell
+    // results (beyond the axes themselves) is folded into the fingerprint.
+    // `search_threads` is deliberately excluded: results are thread-independent.
+    let mapper_fingerprint = {
+        let cfg = models[0].mapper_config();
+        let mut h = checkpoint::Fnv::new();
+        h.write_u64(cfg.objective as u64);
+        h.write_u64(cfg.max_orderings as u64);
+        h.write_u64(cfg.budget.max_orderings);
+        h.write_u64(cfg.budget.max_dp_nodes);
+        h.finish()
+    };
+    let acc_keys: Vec<(String, u64)> = accelerators
+        .iter()
+        .map(|a| (a.name().to_string(), a.fingerprint()))
+        .collect();
+    let header = checkpoint::live_header(
+        target,
+        &acc_keys,
+        &wl_names,
+        policies,
+        &policy_names,
+        &grids,
+        modes,
+        mapper_fingerprint,
+    );
+    // Before the resume splice: the `fault.cells_resumed` increments below
+    // must survive the report's since-delta.
+    let metrics_before = defines_telemetry::snapshot();
+    let mut resumed: HashMap<(String, u64, String, String), CellOutcome> = HashMap::new();
+    let mut writer: Option<checkpoint::Writer> = None;
+    if let Some(path) = &config.checkpoint {
+        let populated = std::fs::metadata(path)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false);
+        if populated {
+            let ckpt = checkpoint::load(path)?;
+            ckpt.header.validate_against(&header)?;
+            for v in &ckpt.cells {
+                let cell =
+                    checkpoint::cell_from_value(v, policies, &policy_names).map_err(|why| {
+                        MatrixError::Checkpoint(format!("checkpoint '{}': {why}", path.display()))
+                    })?;
+                let key = (
+                    cell.accelerator.clone(),
+                    cell.fingerprint,
+                    cell.workload.clone(),
+                    cell.fuse.clone(),
+                );
+                if !acc_keys.contains(&(key.0.clone(), key.1)) || !wl_names.contains(&key.2) {
+                    return Err(MatrixError::Checkpoint(format!(
+                        "checkpoint '{}' records cell '{}' which is not on this grid",
+                        path.display(),
+                        cell.label
+                    )));
+                }
+                resumed.insert(key, cell);
+            }
+            // Rewrites the valid prefix (dropping any torn tail) and keeps
+            // appending from there.
+            writer = Some(checkpoint::Writer::resume(path, &header, &ckpt.cells)?);
+        } else {
+            writer = Some(checkpoint::Writer::create(path, &header)?);
+        }
+    }
+
+    // Splice resumed cells straight into their slots; only the rest run.
+    let mut slots: Vec<Option<CellOutcome>> = (0..points.len()).map(|_| None).collect();
+    let mut pending: Vec<(usize, usize, usize)> = Vec::with_capacity(points.len());
+    for &(ai, wi, pi) in &points {
+        let key = (
+            acc_names[ai].clone(),
+            accelerators[ai].fingerprint(),
+            wl_names[wi].clone(),
+            policy_names[pi].clone(),
+        );
+        match resumed.remove(&key) {
+            Some(cell) => {
+                CELLS_RESUMED.incr();
+                slots[cell_index(ai, wi, pi)] = Some(cell);
+            }
+            None => pending.push((ai, wi, pi)),
+        }
+    }
+    let resumed_cells = points.len() - pending.len();
+
     let engine = SweepEngine::new(config.engine.with_pruning(false))
         .with_label("matrix")
-        .with_label_detail(format!("{} cells", points.len()));
+        .with_label_detail(if resumed_cells == 0 {
+            format!("{} cells", pending.len())
+        } else {
+            format!("{} cells ({resumed_cells} resumed)", pending.len())
+        });
     let cache_before = config.cache.stats();
-    let metrics_before = defines_telemetry::snapshot();
 
+    // The opt-in deadline only gates cell *starts* — it never reaches inside
+    // a search, so completed cells stay bit-identical.
+    // lint:allow(wall-clock, deadline gates cell starts only, never results)
+    let started = std::time::Instant::now();
     let evaluate = |point: &(usize, usize, usize)| -> ScheduleResult {
         let &(ai, wi, pi) = point;
+        failpoint!("matrix.cell");
+        if let Some(deadline) = config.deadline {
+            // A panic here is caught by the engine's per-point isolation and
+            // becomes this cell's `Failed` record — never a lost run.
+            // lint:allow(wall-clock, same opt-in deadline gate as above)
+            if started.elapsed() >= deadline {
+                panic!(
+                    "matrix deadline of {:.3}s exceeded before the cell started",
+                    deadline.as_secs_f64()
+                );
+            }
+        }
         // Each cell runs its inner schedule search sequentially: the outer
         // engine already keeps every core busy with one cell per worker.
         Explorer::new(&models[ai])
@@ -557,88 +750,156 @@ pub fn run_matrix(
         schedule.value(target, &accelerators[ai])
     };
 
-    let mut slots: Vec<Option<CellOutcome>> = (0..points.len()).map(|_| None).collect();
+    let mut checkpoint_error: Option<MatrixError> = None;
     let stats = engine.run(
-        &points,
+        &pending,
         &evaluate,
         &objective,
         None::<&fn(&(usize, usize, usize)) -> f64>,
         |record| {
             let (ai, wi, pi) = record.point;
-            let value = record.value().expect("matrix runs never prune");
-            let schedule = match record.outcome {
-                defines_engine::Outcome::Evaluated { cost, .. } => cost,
+            let label = cell_label(&record.point);
+            let outcome = match record.outcome {
+                defines_engine::Outcome::Evaluated {
+                    cost: schedule,
+                    value,
+                } => {
+                    let net = &workloads[wi];
+                    // The inner run attached a cache delta measured over its
+                    // own time window — but the cache is shared by
+                    // concurrently running cells, so that window also counts
+                    // *their* traffic. Only the whole-matrix snapshot on the
+                    // outer stats is meaningful; drop the per-cell one
+                    // rather than report non-deterministic numbers. The
+                    // per-cell wall time is zeroed for the same reason: cell
+                    // records (and checkpoint lines) must be exactly
+                    // reproducible across runs and thread counts.
+                    let mut inner = schedule.stats;
+                    inner.cache = None;
+                    inner.elapsed = Duration::ZERO;
+                    let stacks = schedule
+                        .choices
+                        .iter()
+                        .map(|choice| CellStack {
+                            layers: choice
+                                .stack
+                                .layers
+                                .iter()
+                                .map(|&l| net.layer(l).name.clone())
+                                .collect(),
+                            tile: choice.tile.to_string(),
+                            mode: choice.mode.to_string(),
+                            value: choice.value,
+                        })
+                        .collect();
+                    CellOutcome {
+                        accelerator: acc_names[ai].clone(),
+                        fingerprint: accelerators[ai].fingerprint(),
+                        workload: wl_names[wi].clone(),
+                        policy: policies[pi].clone(),
+                        fuse: policy_names[pi].clone(),
+                        label,
+                        value,
+                        energy_pj: schedule.cost.energy_pj,
+                        latency_cycles: schedule.cost.latency_cycles,
+                        edp: schedule.cost.edp(),
+                        candidates: schedule.candidates,
+                        degraded: schedule.degraded,
+                        error: None,
+                        stacks,
+                        stats: inner,
+                    }
+                }
                 defines_engine::Outcome::Pruned { .. } => {
                     unreachable!("matrix runs never prune")
                 }
+                // The cell's evaluation panicked (caught by the engine's
+                // per-point isolation): record a failed cell with NaN
+                // values. Siblings are unaffected and bit-identical to a
+                // run without the failure.
+                defines_engine::Outcome::Failed { error } => {
+                    CELLS_FAILED.incr();
+                    CellOutcome {
+                        accelerator: acc_names[ai].clone(),
+                        fingerprint: accelerators[ai].fingerprint(),
+                        workload: wl_names[wi].clone(),
+                        policy: policies[pi].clone(),
+                        fuse: policy_names[pi].clone(),
+                        label: label.clone(),
+                        value: f64::NAN,
+                        energy_pj: f64::NAN,
+                        latency_cycles: f64::NAN,
+                        edp: f64::NAN,
+                        candidates: 0,
+                        degraded: false,
+                        error: Some(error),
+                        stacks: Vec::new(),
+                        stats: SweepStats {
+                            label,
+                            points: 0,
+                            evaluated: 0,
+                            pruned: 0,
+                            failed: 0,
+                            threads: 0,
+                            elapsed: Duration::ZERO,
+                            cache: None,
+                        },
+                    }
+                }
             };
-            let net = &workloads[wi];
-            // The inner run attached a cache delta measured over its own
-            // time window — but the cache is shared by concurrently running
-            // cells, so that window also counts *their* traffic. Only the
-            // whole-matrix snapshot on the outer stats is meaningful; drop
-            // the per-cell one rather than report non-deterministic numbers.
-            let mut inner = schedule.stats;
-            inner.cache = None;
-            let stacks = schedule
-                .choices
-                .iter()
-                .map(|choice| CellStack {
-                    layers: choice
-                        .stack
-                        .layers
-                        .iter()
-                        .map(|&l| net.layer(l).name.clone())
-                        .collect(),
-                    tile: choice.tile.to_string(),
-                    mode: choice.mode.to_string(),
-                    value: choice.value,
-                })
-                .collect();
-            let outcome = CellOutcome {
-                accelerator: acc_names[ai].clone(),
-                fingerprint: accelerators[ai].fingerprint(),
-                workload: wl_names[wi].clone(),
-                policy: policies[pi].clone(),
-                fuse: policy_names[pi].clone(),
-                label: cell_label(&record.point),
-                value,
-                energy_pj: schedule.cost.energy_pj,
-                latency_cycles: schedule.cost.latency_cycles,
-                edp: schedule.cost.edp(),
-                candidates: schedule.candidates,
-                stacks,
-                stats: inner,
-            };
+            // Failed cells are never checkpointed: resuming retries them.
+            if outcome.error.is_none() {
+                if let Some(w) = writer.as_mut() {
+                    if let Err(e) = w.line(&outcome.to_value()) {
+                        // Keep computing (the work is not lost for this
+                        // process), but surface the first append failure
+                        // after the run instead of silently dropping cells
+                        // from the checkpoint.
+                        checkpoint_error.get_or_insert(e);
+                        writer = None;
+                    }
+                }
+            }
             on_cell(&outcome);
-            slots[record.index] = Some(outcome);
+            slots[cell_index(ai, wi, pi)] = Some(outcome);
         },
     );
     let stats = stats.with_cache(config.cache.stats().since(&cache_before));
     let metrics = defines_telemetry::snapshot().since(&metrics_before);
+    if let Some(e) = checkpoint_error {
+        return Err(e);
+    }
 
     let cells: Vec<CellOutcome> = slots
         .into_iter()
-        .map(|slot| slot.expect("every submitted cell produces exactly one record"))
+        .map(|slot| slot.expect("every cell is either resumed or evaluated exactly once"))
         .collect();
     let inner_stats = SweepStats::merged("matrix cells", cells.iter().map(|c| &c.stats));
 
-    // Fig.-13-style ranking: per accelerator, the best policy per workload;
-    // accelerators ordered by the sum of those best values.
-    let cell_index =
-        |ai: usize, wi: usize, pi: usize| (ai * workloads.len() + wi) * policies.len() + pi;
+    // Fig.-13-style ranking: per accelerator, the best *successful* policy
+    // per workload; accelerators ordered by the sum of those best values. An
+    // accelerator with a workload whose cells all failed has no defensible
+    // total — it ranks last (`f64::MAX`) with the starved workload omitted
+    // from `best_cells`.
     let mut totals: Vec<(usize, f64, Vec<usize>)> = (0..accelerators.len())
         .map(|ai| {
             let mut total = 0.0;
+            let mut starved = false;
             let mut best_cells = Vec::with_capacity(workloads.len());
             for wi in 0..workloads.len() {
                 let best = (0..policies.len())
                     .map(|pi| cell_index(ai, wi, pi))
-                    .min_by(|&a, &b| cells[a].value.total_cmp(&cells[b].value))
-                    .expect("at least one policy per cell");
-                total += cells[best].value;
-                best_cells.push(best);
+                    .filter(|&idx| cells[idx].error.is_none())
+                    .min_by(|&a, &b| cells[a].value.total_cmp(&cells[b].value));
+                match best {
+                    Some(best) => {
+                        total += cells[best].value;
+                        best_cells.push(best);
+                    }
+                    None => starved = true,
+                }
             }
+            let total = if starved { f64::MAX } else { total };
             (ai, total, best_cells)
         })
         .collect();
@@ -950,6 +1211,213 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("modes"), "{err}");
+    }
+
+    /// A scratch checkpoint path unique to this process and test.
+    fn scratch_checkpoint(test: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "defines-matrix-{}-{test}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    /// The deterministic slice of a report: everything except the outer
+    /// engine stats and metrics delta, whose wall-clock / cross-run counters
+    /// legitimately differ between an uninterrupted and a resumed run.
+    fn deterministic_json(report: &MatrixReport) -> String {
+        Value::Object(vec![
+            ("cells".into(), report.cells.to_value()),
+            ("ranking".into(), report.ranking.to_value()),
+            ("inner_stats".into(), report.inner_stats.to_value()),
+        ])
+        .to_json()
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_uninterrupted_report_byte_for_byte() {
+        let accelerators = [zoo::meta_proto_like_df(), zoo::tpu_like_df()];
+        let workloads = [tiny_net("tiny")];
+        let policies = [FusePolicy::Auto, FusePolicy::SingleLayerStacks];
+        let run = |checkpoint: Option<std::path::PathBuf>| {
+            let config = MatrixConfig {
+                checkpoint,
+                ..MatrixConfig::default()
+            };
+            run_matrix(
+                &accelerators,
+                &workloads,
+                &policies,
+                Some(&[(8, 8), (30, 30)]),
+                &OverlapMode::ALL,
+                OptimizeTarget::Energy,
+                &config,
+                |_| {},
+            )
+            .unwrap()
+        };
+        let uninterrupted = run(None);
+
+        // Record a full run, then simulate a kill: keep the header and the
+        // first two cell lines, with a torn (partially written) third.
+        let path = scratch_checkpoint("resume");
+        let recorded = run(Some(path.clone()));
+        assert_eq!(
+            deterministic_json(&recorded),
+            deterministic_json(&uninterrupted),
+            "recording a checkpoint must not change the report"
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 4, "header + one line per cell");
+        let truncated = format!(
+            "{}\n{}\n{}\n{}",
+            lines[0],
+            lines[1],
+            lines[2],
+            &lines[3][..lines[3].len() / 2]
+        );
+        std::fs::write(&path, truncated).unwrap();
+        let ckpt = checkpoint::load(&path).unwrap();
+        assert_eq!(ckpt.cells.len(), 2);
+        assert!(ckpt.torn_tail, "the half line must be recognized as torn");
+
+        // Resume: the two recorded cells are spliced in, the torn one and
+        // the never-started one re-run, and the report is byte-identical.
+        let resumed = run(Some(path.clone()));
+        assert_eq!(
+            deterministic_json(&resumed),
+            deterministic_json(&uninterrupted)
+        );
+        // The resumed run only evaluated the two missing cells...
+        assert_eq!(resumed.stats.points, 2);
+        // ...and re-completed the checkpoint for the next resume.
+        let ckpt = checkpoint::load(&path).unwrap();
+        assert_eq!(ckpt.cells.len(), 4);
+        assert!(!ckpt.torn_tail);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_from_a_different_grid_is_rejected() {
+        let accelerators = [zoo::meta_proto_like_df()];
+        let workloads = [tiny_net("tiny")];
+        let path = scratch_checkpoint("mismatch");
+        let run = |tile: u64, checkpoint: &std::path::Path| {
+            let config = MatrixConfig {
+                checkpoint: Some(checkpoint.to_path_buf()),
+                ..MatrixConfig::default()
+            };
+            run_matrix(
+                &accelerators,
+                &workloads,
+                &[FusePolicy::Auto],
+                Some(&[(tile, tile)]),
+                &[OverlapMode::FullyCached],
+                OptimizeTarget::Energy,
+                &config,
+                |_| {},
+            )
+        };
+        run(8, &path).unwrap();
+        // Same axes, different tile grid: the grid fingerprint must refuse.
+        let err = run(30, &path).unwrap_err();
+        assert!(
+            matches!(err, MatrixError::Checkpoint(_)),
+            "expected a checkpoint error, got: {err}"
+        );
+        assert!(err.to_string().contains("grid configuration"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn expired_deadline_fails_cells_without_losing_the_run() {
+        let accelerators = [zoo::meta_proto_like_df()];
+        let workloads = [tiny_net("tiny")];
+        let policies = [FusePolicy::Auto, FusePolicy::SingleLayerStacks];
+        let config = MatrixConfig {
+            // Already expired when the first cell starts: every cell fails,
+            // but the run itself completes with structured errors.
+            deadline: Some(Duration::ZERO),
+            ..MatrixConfig::default()
+        };
+        let mut streamed = 0;
+        let report = run_matrix(
+            &accelerators,
+            &workloads,
+            &policies,
+            Some(&[(8, 8)]),
+            &[OverlapMode::FullyCached],
+            OptimizeTarget::Energy,
+            &config,
+            |cell| {
+                streamed += 1;
+                assert!(cell.error.is_some());
+            },
+        )
+        .unwrap();
+        assert_eq!(streamed, 2);
+        for cell in &report.cells {
+            let error = cell
+                .error
+                .as_deref()
+                .expect("every cell missed the deadline");
+            assert!(error.contains("deadline"), "{error}");
+            assert!(cell.value.is_nan());
+            assert!(cell.stacks.is_empty());
+        }
+        assert_eq!(report.stats.failed, 2);
+        // No successful cell anywhere: the accelerator ranks with MAX total
+        // and no representative cells.
+        assert_eq!(report.ranking.len(), 1);
+        assert_eq!(report.ranking[0].total_value, f64::MAX);
+        assert!(report.ranking[0].best_cells.is_empty());
+        // The markdown renders the failures instead of numbers.
+        let md = report.to_markdown();
+        assert!(
+            md.contains("- faults: 2 cells failed, 0 budget-degraded"),
+            "{md}"
+        );
+        assert!(md.contains("## Failed cells"), "{md}");
+        assert!(md.contains("| — | — | — | — |"), "{md}");
+    }
+
+    #[test]
+    fn budgeted_matrix_flags_degraded_cells_and_stays_deterministic() {
+        let accelerators = [zoo::meta_proto_like_df()];
+        let workloads = [tiny_net("tiny")];
+        let policies = [FusePolicy::Auto];
+        let run = |budget: defines_mapping::Budget, threads: usize| {
+            let config = MatrixConfig {
+                budget,
+                search_threads: threads,
+                ..MatrixConfig::default()
+            };
+            run_matrix(
+                &accelerators,
+                &workloads,
+                &policies,
+                Some(&[(8, 8)]),
+                &[OverlapMode::FullyCached],
+                OptimizeTarget::Energy,
+                &config,
+                |_| {},
+            )
+            .unwrap()
+        };
+        let unlimited = run(defines_mapping::Budget::default(), 1);
+        assert!(!unlimited.cells[0].degraded);
+        // A one-ordering window degrades the search but never fails it.
+        let starved = run(defines_mapping::Budget::orderings(1), 1);
+        assert!(starved.cells[0].degraded);
+        assert!(starved.cells[0].error.is_none());
+        assert!(starved.cells[0].value >= unlimited.cells[0].value);
+        // Degraded results are still bit-identical at any thread count.
+        let starved4 = run(defines_mapping::Budget::orderings(1), 4);
+        assert_eq!(deterministic_json(&starved), deterministic_json(&starved4));
+        let md = starved.to_markdown();
+        assert!(md.contains("budget-degraded"), "{md}");
     }
 
     #[test]

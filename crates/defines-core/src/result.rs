@@ -135,6 +135,10 @@ pub struct TileTypeCost {
     pub copy_access: AccessBreakdown,
     /// Energy summary of one tile.
     pub energy_summary: EnergySummary,
+    /// Whether any single-layer mapping search inside this tile type ran out
+    /// of its deterministic work budget and returned a best-so-far mapping
+    /// (see [`defines_mapping::Budget`]). `false` under unlimited budgets.
+    pub degraded: bool,
 }
 
 /// The cost of one stack of fused layers across all its tiles.
@@ -160,6 +164,11 @@ pub struct StackCost {
     pub copy_access: AccessBreakdown,
     /// Aggregated energy summary.
     pub energy_summary: EnergySummary,
+    /// Whether any tile type of this stack is budget-degraded (OR over
+    /// [`TileTypeCost::degraded`]): the reported cost is exact for the
+    /// mappings that were searched, but a larger budget might find better
+    /// mappings.
+    pub degraded: bool,
 }
 
 impl StackCost {
@@ -189,6 +198,9 @@ pub struct NetworkCost {
     pub copy_access: AccessBreakdown,
     /// Aggregated energy summary.
     pub energy_summary: EnergySummary,
+    /// Whether any stack is budget-degraded (OR over
+    /// [`StackCost::degraded`]).
+    pub degraded: bool,
 }
 
 impl NetworkCost {
@@ -201,6 +213,7 @@ impl NetworkCost {
         let mut weight = AccessBreakdown::new();
         let mut copy = AccessBreakdown::new();
         let mut summary = EnergySummary::default();
+        let mut degraded = false;
         for s in &stacks {
             energy += s.energy_pj;
             latency += s.latency_cycles;
@@ -209,6 +222,7 @@ impl NetworkCost {
             weight.merge(&s.weight_access);
             copy.merge(&s.copy_access);
             summary.accumulate(&s.energy_summary);
+            degraded |= s.degraded;
         }
         Self {
             stacks,
@@ -219,6 +233,7 @@ impl NetworkCost {
             weight_access: weight,
             copy_access: copy,
             energy_summary: summary,
+            degraded,
         }
     }
 
@@ -342,6 +357,7 @@ mod tests {
                 mac_pj: e,
                 ..Default::default()
             },
+            degraded: false,
         };
         let net = NetworkCost::from_stacks(vec![make(10.0, 5.0), make(20.0, 7.0)]);
         assert_eq!(net.energy_pj, 30.0);

@@ -1,8 +1,9 @@
 //! The work-queue parallel sweep executor with pruning and streaming results.
 
 use crate::memo::CacheStats;
-use defines_telemetry::{span, Counter, Gauge};
+use defines_telemetry::{failpoint, span, Counter, Gauge};
 use serde::{Serialize, Value};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -11,6 +12,8 @@ use std::time::{Duration, Instant};
 static POINTS_EVALUATED: Counter = Counter::new("engine.points_evaluated");
 /// Design points skipped by lower-bound pruning across every sweep.
 static POINTS_PRUNED: Counter = Counter::new("engine.points_pruned");
+/// Per-point panics caught and isolated into [`Outcome::Failed`] records.
+static CAUGHT_PANICS: Counter = Counter::new("fault.caught_panics");
 /// Worker threads of the most recent sweep.
 static THREADS_GAUGE: Gauge = Gauge::new("engine.threads");
 
@@ -78,6 +81,15 @@ pub enum Outcome<C> {
         /// The lower bound that justified skipping.
         lower_bound: f64,
     },
+    /// The point's evaluation panicked. The panic was caught and isolated
+    /// into this record: sibling points are unaffected, the sweep completes,
+    /// and the shared caches recover (see `MemoCache`'s poison recovery).
+    /// Failed points never update the shared pruning incumbent, so every
+    /// other record is bit-identical to a run where this point was absent.
+    Failed {
+        /// The panic payload, rendered as a string.
+        error: String,
+    },
 }
 
 /// One streamed sweep result.
@@ -98,7 +110,7 @@ impl<P, C> SweepRecord<P, C> {
     pub fn value(&self) -> Option<f64> {
         match &self.outcome {
             Outcome::Evaluated { value, .. } => Some(*value),
-            Outcome::Pruned { .. } => None,
+            Outcome::Pruned { .. } | Outcome::Failed { .. } => None,
         }
     }
 
@@ -106,7 +118,7 @@ impl<P, C> SweepRecord<P, C> {
     pub fn cost(&self) -> Option<&C> {
         match &self.outcome {
             Outcome::Evaluated { cost, .. } => Some(cost),
-            Outcome::Pruned { .. } => None,
+            Outcome::Pruned { .. } | Outcome::Failed { .. } => None,
         }
     }
 }
@@ -124,6 +136,10 @@ impl<C: Serialize> Serialize for Outcome<C> {
             Outcome::Pruned { lower_bound } => Value::Object(vec![(
                 "Pruned".to_string(),
                 Value::Object(vec![("lower_bound".to_string(), Value::F64(*lower_bound))]),
+            )]),
+            Outcome::Failed { error } => Value::Object(vec![(
+                "Failed".to_string(),
+                Value::Object(vec![("error".to_string(), Value::Str(error.clone()))]),
             )]),
         }
     }
@@ -156,6 +172,9 @@ pub struct SweepStats {
     pub evaluated: usize,
     /// Points skipped by lower-bound pruning.
     pub pruned: usize,
+    /// Points whose evaluation panicked; the panics were caught and reported
+    /// as [`Outcome::Failed`] records instead of aborting the sweep.
+    pub failed: usize,
     /// Worker threads used.
     pub threads: usize,
     /// Wall-clock time of the sweep.
@@ -207,6 +226,7 @@ impl SweepStats {
             points: 0,
             evaluated: 0,
             pruned: 0,
+            failed: 0,
             threads: 0,
             elapsed: Duration::ZERO,
             cache: None,
@@ -215,6 +235,7 @@ impl SweepStats {
             out.points += run.points;
             out.evaluated += run.evaluated;
             out.pruned += run.pruned;
+            out.failed += run.failed;
             out.threads = out.threads.max(run.threads);
             out.elapsed += run.elapsed;
         }
@@ -229,6 +250,7 @@ impl Serialize for SweepStats {
             ("points".to_string(), Value::U64(self.points as u64)),
             ("evaluated".to_string(), Value::U64(self.evaluated as u64)),
             ("pruned".to_string(), Value::U64(self.pruned as u64)),
+            ("failed".to_string(), Value::U64(self.failed as u64)),
             ("threads".to_string(), Value::U64(self.threads as u64)),
             (
                 "elapsed_ms".to_string(),
@@ -317,6 +339,12 @@ impl SweepEngine {
     /// * `objective` — scalar value to minimize, derived from a cost,
     /// * `lower_bound` — optional cheap bound: must never exceed the true
     ///   objective value of the point, or pruning could drop the optimum.
+    ///
+    /// A panic inside `evaluate`, `objective` or `lower_bound` is caught and
+    /// isolated to that point: the sweep streams an [`Outcome::Failed`]
+    /// record carrying the panic message and continues. Failed points never
+    /// update the shared pruning incumbent, so all sibling records are
+    /// bit-identical to a run without the failure.
     pub fn run<P, C, E, V, L, S>(
         &self,
         points: &[P],
@@ -339,7 +367,7 @@ impl SweepEngine {
         let bound = if self.config.prune { lower_bound } else { None };
         let threads = self.config.threads.min(points.len()).max(1);
         THREADS_GAUGE.set(threads as u64);
-        let (evaluated, pruned) = if threads <= 1 {
+        let (evaluated, pruned, failed) = if threads <= 1 {
             self.run_sequential(points, evaluate, objective, bound, on_record)
         } else {
             self.run_parallel(points, threads, evaluate, objective, bound, on_record)
@@ -351,6 +379,7 @@ impl SweepEngine {
             points: points.len(),
             evaluated,
             pruned,
+            failed,
             threads,
             elapsed: start.elapsed(),
             cache: None,
@@ -404,7 +433,7 @@ impl SweepEngine {
         objective: &V,
         lower_bound: Option<&L>,
         mut on_record: S,
-    ) -> (usize, usize)
+    ) -> (usize, usize, usize)
     where
         P: Clone,
         E: Fn(&P) -> C,
@@ -415,36 +444,33 @@ impl SweepEngine {
         let mut best = f64::INFINITY;
         let mut evaluated = 0;
         let mut pruned = 0;
+        let mut failed = 0;
         for (index, point) in points.iter().enumerate() {
-            if let Some(lb) = lower_bound {
-                let bound = lb(point);
-                if bound > best {
-                    pruned += 1;
-                    on_record(SweepRecord {
-                        index,
-                        point: point.clone(),
-                        outcome: Outcome::Pruned { lower_bound: bound },
-                        is_best_so_far: false,
-                    });
-                    continue;
+            let outcome = execute_point(index, point, best, evaluate, objective, lower_bound);
+            let is_best = match &outcome {
+                Outcome::Evaluated { value, .. } => {
+                    evaluated += 1;
+                    let better = *value < best;
+                    best = best.min(*value);
+                    better
                 }
-            }
-            let cost = {
-                let _span = span!("engine.execute", point = index);
-                evaluate(point)
+                Outcome::Pruned { .. } => {
+                    pruned += 1;
+                    false
+                }
+                Outcome::Failed { .. } => {
+                    failed += 1;
+                    false
+                }
             };
-            let value = objective(point, &cost);
-            evaluated += 1;
-            let is_best = value < best;
-            best = best.min(value);
             on_record(SweepRecord {
                 index,
                 point: point.clone(),
-                outcome: Outcome::Evaluated { cost, value },
+                outcome,
                 is_best_so_far: is_best,
             });
         }
-        (evaluated, pruned)
+        (evaluated, pruned, failed)
     }
 
     fn run_parallel<P, C, E, V, L, S>(
@@ -455,7 +481,7 @@ impl SweepEngine {
         objective: &V,
         lower_bound: Option<&L>,
         mut on_record: S,
-    ) -> (usize, usize)
+    ) -> (usize, usize, usize)
     where
         P: Clone + Sync,
         C: Send,
@@ -468,6 +494,7 @@ impl SweepEngine {
         let best_bits = AtomicU64::new(f64::INFINITY.to_bits());
         let mut evaluated = 0;
         let mut pruned = 0;
+        let mut failed = 0;
         std::thread::scope(|scope| {
             let (tx, rx) = mpsc::channel::<(usize, Outcome<C>)>();
             for worker in 0..threads {
@@ -486,28 +513,13 @@ impl SweepEngine {
                             return;
                         }
                         let point = &points[index];
-                        if let Some(lb) = lower_bound {
-                            let bound = lb(point);
-                            if bound > f64::from_bits(best_bits.load(Ordering::Relaxed)) {
-                                if tx
-                                    .send((index, Outcome::Pruned { lower_bound: bound }))
-                                    .is_err()
-                                {
-                                    return;
-                                }
-                                continue;
-                            }
+                        let best = f64::from_bits(best_bits.load(Ordering::Relaxed));
+                        let outcome =
+                            execute_point(index, point, best, evaluate, objective, lower_bound);
+                        if let Outcome::Evaluated { value, .. } = &outcome {
+                            atomic_f64_min(best_bits, *value);
                         }
-                        let cost = {
-                            let _span = span!("engine.execute", point = index);
-                            evaluate(point)
-                        };
-                        let value = objective(point, &cost);
-                        atomic_f64_min(best_bits, value);
-                        if tx
-                            .send((index, Outcome::Evaluated { cost, value }))
-                            .is_err()
-                        {
+                        if tx.send((index, outcome)).is_err() {
                             return;
                         }
                     }
@@ -528,6 +540,10 @@ impl SweepEngine {
                         pruned += 1;
                         false
                     }
+                    Outcome::Failed { .. } => {
+                        failed += 1;
+                        false
+                    }
                 };
                 on_record(SweepRecord {
                     index,
@@ -537,7 +553,70 @@ impl SweepEngine {
                 });
             }
         });
-        (evaluated, pruned)
+        (evaluated, pruned, failed)
+    }
+}
+
+/// Executes one design point with panic isolation: the pruning check, the
+/// evaluation and the objective all run inside `catch_unwind`, so a panic
+/// anywhere becomes an [`Outcome::Failed`] for this point alone instead of
+/// unwinding through the worker (which would poison shared locks and, on the
+/// parallel path, abort the whole scope).
+///
+/// `AssertUnwindSafe` is sound here: a caught panic abandons everything the
+/// closure was building, the shared state the evaluation may have touched
+/// (the memo/mapping caches, the search worker pool) recovers from lock
+/// poisoning by construction, and the engine never reuses partial results of
+/// a failed point.
+fn execute_point<P, C, E, V, L>(
+    index: usize,
+    point: &P,
+    best: f64,
+    evaluate: &E,
+    objective: &V,
+    lower_bound: Option<&L>,
+) -> Outcome<C>
+where
+    E: Fn(&P) -> C,
+    V: Fn(&P, &C) -> f64,
+    L: Fn(&P) -> f64,
+{
+    // `quiet_panics` silences the default panic hook for exactly this
+    // region: the payload is reported through the Failed record below, so
+    // the hook's stderr dump would only duplicate it.
+    let result = defines_telemetry::quiet_panics(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            if let Some(lb) = lower_bound {
+                let bound = lb(point);
+                if bound > best {
+                    return Outcome::Pruned { lower_bound: bound };
+                }
+            }
+            let cost = {
+                let _span = span!("engine.execute", point = index);
+                failpoint!("engine.execute");
+                evaluate(point)
+            };
+            let value = objective(point, &cost);
+            Outcome::Evaluated { cost, value }
+        }))
+    });
+    result.unwrap_or_else(|payload| {
+        CAUGHT_PANICS.incr();
+        Outcome::Failed {
+            error: panic_error(payload.as_ref()),
+        }
+    })
+}
+
+/// Renders a caught panic payload as a failed record's error string.
+fn panic_error(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -675,6 +754,7 @@ mod tests {
             points: 4,
             evaluated: 3,
             pruned: 1,
+            failed: 0,
             threads: 2,
             elapsed: Duration::from_millis(10),
             cache: None,
@@ -682,8 +762,9 @@ mod tests {
         let b = SweepStats {
             label: "b".into(),
             points: 6,
-            evaluated: 6,
+            evaluated: 5,
             pruned: 0,
+            failed: 1,
             threads: 1,
             elapsed: Duration::from_millis(5),
             cache: None,
@@ -691,8 +772,9 @@ mod tests {
         let merged = SweepStats::merged("both", [&a, &b]);
         assert_eq!(merged.label, "both");
         assert_eq!(merged.points, 10);
-        assert_eq!(merged.evaluated, 9);
+        assert_eq!(merged.evaluated, 8);
         assert_eq!(merged.pruned, 1);
+        assert_eq!(merged.failed, 1);
         assert_eq!(merged.threads, 2);
         assert_eq!(merged.elapsed, Duration::from_millis(15));
         assert!(merged.cache.is_none());
@@ -710,6 +792,7 @@ mod tests {
             points: 10,
             evaluated: 10,
             pruned: 0,
+            failed: 0,
             threads: 1,
             elapsed: Duration::ZERO,
             cache: None,
@@ -732,6 +815,75 @@ mod tests {
             ..empty
         };
         assert_eq!(idle.points_per_second(), 0.0);
+    }
+
+    /// Sweeps 0..20 with an evaluator that panics on point 13, at the given
+    /// thread count, and returns the records plus stats.
+    fn sweep_with_panicking_point(threads: usize) -> (Vec<SweepRecord<i64, f64>>, SweepStats) {
+        let points: Vec<i64> = (0..20).collect();
+        let engine = if threads <= 1 {
+            SweepEngine::new(EngineConfig::sequential())
+        } else {
+            SweepEngine::new(EngineConfig::parallel().with_threads(threads))
+        };
+        engine.run_collect(
+            &points,
+            &|p: &i64| {
+                if *p == 13 {
+                    panic!("injected failure for point {p}");
+                }
+                (*p as f64) * 2.0
+            },
+            &|_, c: &f64| *c,
+            None::<&fn(&i64) -> f64>,
+        )
+    }
+
+    #[test]
+    fn panicking_point_becomes_failed_record() {
+        let (records, stats) = sweep_with_panicking_point(1);
+        assert_eq!(stats.evaluated, 19);
+        assert_eq!(stats.failed, 1);
+        match &records[13].outcome {
+            Outcome::Failed { error } => {
+                assert_eq!(error, "injected failure for point 13");
+            }
+            other => panic!("expected Failed outcome, got {other:?}"),
+        }
+        assert_eq!(records[13].value(), None);
+        // Every sibling evaluated normally.
+        for (i, record) in records.iter().enumerate() {
+            if i != 13 {
+                assert_eq!(record.value(), Some((i as f64) * 2.0));
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_point_leaves_siblings_bit_identical_in_parallel() {
+        let (seq, seq_stats) = sweep_with_panicking_point(1);
+        let (par, par_stats) = sweep_with_panicking_point(8);
+        assert_eq!(par_stats.evaluated, seq_stats.evaluated);
+        assert_eq!(par_stats.failed, 1);
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.index, p.index);
+            assert_eq!(s.value().map(f64::to_bits), p.value().map(f64::to_bits));
+        }
+    }
+
+    #[test]
+    fn failed_records_serialize_with_error_string() {
+        let record = SweepRecord {
+            index: 0,
+            point: 1i64,
+            outcome: Outcome::<f64>::Failed {
+                error: "boom".into(),
+            },
+            is_best_so_far: false,
+        };
+        let json = serde::Serialize::to_value(&record).to_json();
+        assert!(json.contains("\"Failed\""));
+        assert!(json.contains("\"error\":\"boom\""));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Number of independent shards; keys are distributed by hash so concurrent
 /// workers rarely contend on the same lock.
@@ -99,6 +99,18 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
         &self.shards[(hasher.finish() as usize) % SHARDS]
     }
 
+    /// Locks a shard, recovering from poisoning. Sound because no code path
+    /// mutates a shard in a way that can be observed half-done: values are
+    /// computed *outside* the lock and inserted with a single `entry()` call,
+    /// so a panicking thread can at worst leave the map exactly as it found
+    /// it — the poison flag carries no information here. Recovery keeps a
+    /// sweep alive after a worker panic (which the engine now catches and
+    /// reports as a failed point) instead of cascading `PoisonError` panics
+    /// through every other worker sharing the cache.
+    fn lock_shard(shard: &Mutex<HashMap<K, V>>) -> MutexGuard<'_, HashMap<K, V>> {
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Returns the cached value for `key`, computing and inserting it on a
     /// miss.
     pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
@@ -109,15 +121,13 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
     /// the lookup was answered from the cache (`true`) or computed (`false`).
     pub fn get_or_insert_with_meta(&self, key: K, compute: impl FnOnce() -> V) -> (V, bool) {
         let shard = self.shard(&key);
-        if let Some(hit) = shard.lock().expect("cache shard poisoned").get(&key) {
+        if let Some(hit) = Self::lock_shard(shard).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (hit.clone(), true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute();
-        shard
-            .lock()
-            .expect("cache shard poisoned")
+        Self::lock_shard(shard)
             .entry(key)
             .or_insert_with(|| value.clone());
         (value, false)
@@ -134,12 +144,7 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
 
     /// The cached value for `key`, if present (counts as a hit/miss).
     pub fn get(&self, key: &K) -> Option<V> {
-        let found = self
-            .shard(key)
-            .lock()
-            .expect("cache shard poisoned")
-            .get(key)
-            .cloned();
+        let found = Self::lock_shard(self.shard(key)).get(key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -149,10 +154,7 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
 
     /// Number of distinct entries.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| Self::lock_shard(s).len()).sum()
     }
 
     /// Whether the cache holds no entries.
@@ -163,7 +165,7 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
     /// Drops all entries and resets the statistics.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").clear();
+            Self::lock_shard(shard).clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
@@ -231,6 +233,37 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_with_identical_results() {
+        use std::sync::atomic::AtomicBool;
+        static PANIC_ON_CLONE: AtomicBool = AtomicBool::new(false);
+        #[derive(Debug, PartialEq)]
+        struct Explosive(u64);
+        impl Clone for Explosive {
+            fn clone(&self) -> Self {
+                if PANIC_ON_CLONE.load(Ordering::Relaxed) {
+                    panic!("injected clone panic");
+                }
+                Explosive(self.0)
+            }
+        }
+        let cache: MemoCache<u64, Explosive> = MemoCache::new();
+        cache.get_or_insert_with(7, || Explosive(70));
+        // Genuinely poison the shard: the hit path clones the value while the
+        // shard guard is held, so a panicking clone unwinds through the lock.
+        PANIC_ON_CLONE.store(true, Ordering::Relaxed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cache.get(&7)));
+        assert!(result.is_err(), "clone under the shard lock must panic");
+        PANIC_ON_CLONE.store(false, Ordering::Relaxed);
+        // The shard recovers with its pre-panic contents intact.
+        assert_eq!(cache.get_or_insert_with(7, || Explosive(0)).0, 70);
+        assert_eq!(cache.len(), 1);
+        for k in 0..32u64 {
+            // Touch every shard to prove none propagates PoisonError.
+            assert_eq!(cache.get_or_insert_with(k + 100, || Explosive(k)).0, k);
+        }
     }
 
     #[test]

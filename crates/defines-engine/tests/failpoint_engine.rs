@@ -1,0 +1,61 @@
+//! Fault-injection campaign against the sweep engine: an armed
+//! `engine.execute` failpoint must surface as a single `Failed` record while
+//! every sibling point and the shared memo cache stay intact.
+#![cfg(feature = "failpoints")]
+
+use defines_engine::{EngineConfig, MemoCache, Outcome, SweepEngine};
+use defines_telemetry::fault;
+
+fn run_sweep(threads: usize, cache: &MemoCache<i64, f64>) -> Vec<(usize, Option<f64>)> {
+    let engine = if threads <= 1 {
+        SweepEngine::new(EngineConfig::sequential())
+    } else {
+        SweepEngine::new(EngineConfig::parallel().with_threads(threads))
+    };
+    let points: Vec<i64> = (0..24).collect();
+    let (records, _) = engine.run_collect(
+        &points,
+        &|p: &i64| cache.get_or_insert_with(*p, || (*p as f64) * 3.0),
+        &|_, c: &f64| *c,
+        None::<&fn(&i64) -> f64>,
+    );
+    records.iter().map(|r| (r.index, r.value())).collect()
+}
+
+#[test]
+fn armed_engine_failpoint_fails_one_point_and_spares_the_cache() {
+    let cache: MemoCache<i64, f64> = MemoCache::new();
+
+    // Fire on the 5th execution. Which *point* that is depends on thread
+    // interleaving, which is exactly what the isolation contract must absorb.
+    let guard = fault::arm("engine.execute", 5);
+    let engine = SweepEngine::new(EngineConfig::parallel().with_threads(4));
+    let points: Vec<i64> = (0..24).collect();
+    let (records, stats) = engine.run_collect(
+        &points,
+        &|p: &i64| cache.get_or_insert_with(*p, || (*p as f64) * 3.0),
+        &|_, c: &f64| *c,
+        None::<&fn(&i64) -> f64>,
+    );
+    drop(guard);
+
+    assert_eq!(stats.failed, 1, "exactly one injected failure");
+    assert_eq!(stats.evaluated, 23);
+    let failed: Vec<_> = records
+        .iter()
+        .filter_map(|r| match &r.outcome {
+            Outcome::Failed { error } => Some((r.index, error.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].1, "failpoint engine.execute fired");
+
+    // The cache survived the injected panic: a fault-free re-sweep over the
+    // same cache returns every value, bit-identical at any thread count.
+    let baseline = run_sweep(1, &MemoCache::new());
+    for threads in [1, 4, 8] {
+        let rerun = run_sweep(threads, &cache);
+        assert_eq!(rerun, baseline, "post-panic sweep at {threads} threads");
+    }
+}

@@ -19,7 +19,7 @@ use defines_telemetry::{span, Counter};
 use defines_workload::{LayerDims, OpType};
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Mapping-cache lookups served from an existing entry.
 static CACHE_HITS: Counter = Counter::new("mapping.cache.hits");
@@ -168,6 +168,18 @@ impl MappingCache {
         Self::default()
     }
 
+    /// Locks the incumbent map, recovering from poisoning. Sound for the same
+    /// reason as `MemoCache`'s shard recovery: the guard only ever covers a
+    /// single `entry().or_insert_with()` (the mapper itself runs after the
+    /// guard is dropped) or a `clear()`, neither of which can be observed
+    /// half-done — a panicking thread leaves the map valid, so the poison
+    /// flag carries no information and recovery keeps sibling sweeps alive.
+    fn lock_incumbents(&self) -> MutexGuard<'_, HashMap<ProblemKey, Arc<AtomicU64>>> {
+        self.incumbents
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Returns the cached cost for the problem, running the mapper on a miss.
     pub fn optimize(&self, mapper: &LomaMapper, problem: &SingleLayerProblem<'_>) -> LayerCost {
         (*self.optimize_shared(mapper, problem)).clone()
@@ -195,13 +207,10 @@ impl MappingCache {
         mapper: &LomaMapper,
         problem: &SingleLayerProblem<'_>,
     ) -> Arc<LayerCost> {
-        let incumbents = &self.incumbents;
         let (cost, hit) = self.inner.get_or_insert_with_meta(key.clone(), || {
             let _span = span!("mapping.search");
             let cell = Arc::clone(
-                incumbents
-                    .lock()
-                    .unwrap()
+                self.lock_incumbents()
                     .entry(key)
                     .or_insert_with(|| Arc::new(AtomicU64::new(INCUMBENT_EMPTY))),
             );
@@ -228,7 +237,7 @@ impl MappingCache {
     /// the statistics.
     pub fn clear(&self) {
         self.inner.clear();
-        self.incumbents.lock().unwrap().clear();
+        self.lock_incumbents().clear();
     }
 }
 

@@ -193,6 +193,11 @@ pub struct LayerCost {
     pub accesses: AccessBreakdown,
     /// The temporal mapping this cost was evaluated for.
     pub mapping: TemporalMapping,
+    /// Whether the search that produced this cost exhausted its work budget
+    /// ([`crate::Budget`]): the cost is then the exact optimum of the
+    /// in-budget candidate window only. Evaluating a *fixed* mapping never
+    /// degrades.
+    pub degraded: bool,
 }
 
 impl LayerCost {
@@ -277,6 +282,7 @@ pub fn evaluate(problem: &SingleLayerProblem<'_>, mapping: &TemporalMapping) -> 
         macs,
         accesses,
         mapping: mapping.clone(),
+        degraded: false,
     }
 }
 

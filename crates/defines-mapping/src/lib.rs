@@ -49,7 +49,7 @@ pub mod temporal;
 
 pub use cache::{MappingCache, ProblemKey};
 pub use cost::{AccessBreakdown, LayerCost, Objective};
-pub use loma::{LomaMapper, MapperConfig};
+pub use loma::{Budget, LomaMapper, MapperConfig};
 pub use problem::{OperandTopLevels, SingleLayerProblem};
 pub use search::SearchStats;
 pub use temporal::TemporalMapping;

@@ -28,6 +28,53 @@ static ORDERINGS_EVALUATED: Counter = Counter::new("search.orderings_evaluated")
 static PRUNED_BOUND: Counter = Counter::new("search.pruned_bound");
 /// Orderings skipped as non-canonical members of a symmetry orbit.
 static PRUNED_SYMMETRY: Counter = Counter::new("search.pruned_symmetry");
+/// Orderings skipped because they fell beyond the search budget.
+static SKIPPED_BUDGET: Counter = Counter::new("search.skipped_budget");
+/// Searches that exhausted their budget and returned a degraded result.
+static BUDGET_EXHAUSTED: Counter = Counter::new("fault.budget_exhausted");
+
+/// A deterministic work budget for the exploration pipeline.
+///
+/// Budgets are counted in *work units of the deterministic enumeration* —
+/// candidate orderings for the temporal-mapping search, relaxation steps for
+/// the fusion DP — never in wall-clock time, so a budgeted run is
+/// bit-identical at any thread count and on any machine. When a budget is
+/// exhausted the affected search returns its exact best-so-far over the
+/// in-budget window and flags the result *degraded*
+/// ([`LayerCost::degraded`]); it never fails or returns garbage.
+///
+/// `0` means unlimited for either field, and [`Budget::default`] is fully
+/// unlimited. Budgets change results (they shrink the candidate window), so
+/// they are part of [`LomaMapper::config_fingerprint`] — caches never mix
+/// budgeted and unbudgeted entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Budget {
+    /// Maximum candidate orderings (evaluated or bound-pruned) per
+    /// temporal-mapping search; `0` = unlimited.
+    pub max_orderings: u64,
+    /// Maximum relaxation steps per fusion-partition DP; `0` = unlimited.
+    pub max_dp_nodes: u64,
+}
+
+impl Budget {
+    /// An unlimited budget (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A budget capping only the per-search ordering window.
+    pub fn orderings(max: u64) -> Self {
+        Self {
+            max_orderings: max,
+            max_dp_nodes: 0,
+        }
+    }
+
+    /// Whether both fields are unlimited.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_orderings == 0 && self.max_dp_nodes == 0
+    }
+}
 
 /// Configuration of the mapping search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -43,6 +90,9 @@ pub struct MapperConfig {
     /// produces bit-identical results — the parallel reduction resolves ties
     /// by the sequential search's own lexicographic rank.
     pub search_threads: usize,
+    /// Deterministic work budget; exhausting it degrades gracefully to the
+    /// best-so-far result (see [`Budget`]). Unlimited by default.
+    pub budget: Budget,
 }
 
 impl Default for MapperConfig {
@@ -51,6 +101,7 @@ impl Default for MapperConfig {
             objective: Objective::Energy,
             max_orderings: 720,
             search_threads: 1,
+            budget: Budget::default(),
         }
     }
 }
@@ -65,6 +116,7 @@ impl MapperConfig {
             objective: Objective::Energy,
             max_orderings: 48,
             search_threads: 1,
+            budget: Budget::default(),
         }
     }
 
@@ -79,6 +131,23 @@ impl MapperConfig {
     pub fn with_search_threads(mut self, threads: usize) -> Self {
         self.search_threads = threads.max(1);
         self
+    }
+
+    /// Returns a copy with a different work budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// Publishes one search's counters into the global metrics registry.
+fn record_search_metrics(stats: &SearchStats) {
+    ORDERINGS_EVALUATED.add(stats.evaluated);
+    PRUNED_BOUND.add(stats.pruned_bound);
+    PRUNED_SYMMETRY.add(stats.pruned_symmetry);
+    SKIPPED_BUDGET.add(stats.skipped_budget);
+    if stats.skipped_budget > 0 {
+        BUDGET_EXHAUSTED.incr();
     }
 }
 
@@ -108,6 +177,10 @@ impl LomaMapper {
         let mut h = DefaultHasher::new();
         (self.config.objective as u64).hash(&mut h);
         self.config.max_orderings.hash(&mut h);
+        // The budget IS hashed: it shrinks the candidate window and therefore
+        // changes results, so budgeted and unbudgeted searches must never
+        // share cache entries or incumbent cells.
+        self.config.budget.hash(&mut h);
         // `search_threads` is deliberately NOT hashed: the thread count does
         // not change results, so cache entries are shared across it.
         h.finish()
@@ -121,9 +194,7 @@ impl LomaMapper {
     /// tie-broken mapping) as [`LomaMapper::optimize_exhaustive`].
     pub fn optimize(&self, problem: &SingleLayerProblem<'_>) -> LayerCost {
         let (cost, stats) = self.optimize_with_stats(problem);
-        ORDERINGS_EVALUATED.add(stats.evaluated);
-        PRUNED_BOUND.add(stats.pruned_bound);
-        PRUNED_SYMMETRY.add(stats.pruned_symmetry);
+        record_search_metrics(&stats);
         cost
     }
 
@@ -150,9 +221,7 @@ impl LomaMapper {
         incumbent: &AtomicU64,
     ) -> LayerCost {
         let (cost, stats) = search_with_incumbent(problem, &self.config, Some(incumbent));
-        ORDERINGS_EVALUATED.add(stats.evaluated);
-        PRUNED_BOUND.add(stats.pruned_bound);
-        PRUNED_SYMMETRY.add(stats.pruned_symmetry);
+        record_search_metrics(&stats);
         cost
     }
 

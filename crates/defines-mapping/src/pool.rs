@@ -39,6 +39,20 @@
 //! can hold. Late workers that find nothing left to claim never touch the
 //! pointer.
 //!
+//! # Fault tolerance
+//!
+//! Every unit is processed under `catch_unwind`: a panic marks the job
+//! failed (first failure wins), the panicking participant keeps draining so
+//! remaining units are still marked done, and the owner re-raises the
+//! failure as one structured error — `"parallel mapping search failed: …"` —
+//! that the sweep engine's per-point isolation turns into a `Failed` record
+//! for just that design point. The owner's wait is a
+//! [`Condvar::wait_timeout`] loop with an *exact* wedge check (see
+//! [`wait_for_completion`]), so a lost unit is reported as a structured
+//! error instead of hanging the process, and late claimants check the
+//! abandoned flag under the progress lock before ever touching the context
+//! pointer.
+//!
 //! # Telemetry
 //!
 //! * `search.subtrees` — work units generated for parallel jobs.
@@ -49,8 +63,10 @@
 
 use crate::search::{Best, SearchCtx, SearchStats, Unit, WorkerState};
 use crossbeam_deque::{Steal, Stealer, Worker};
-use defines_telemetry::Counter;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use defines_telemetry::{failpoint, Counter};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
 
 /// Prefix-subtree work units generated for parallel search jobs.
 pub(crate) static SUBTREES: Counter = Counter::new("search.subtrees");
@@ -64,6 +80,12 @@ pub(crate) static BOUND_BROADCASTS: Counter = Counter::new("search.bound_broadca
 /// unit generation O(small).
 const UNITS_PER_THREAD: usize = 4;
 const MAX_UNITS: usize = 64;
+
+/// How long the owner sleeps on the completion condvar before re-checking
+/// for a wedged job. Pure polling granularity for a defensive check — the
+/// timeout never influences any result, only how fast an (unreachable by
+/// construction) lost-unit state is reported instead of hung on.
+const WEDGE_POLL: Duration = Duration::from_millis(500);
 
 /// Type-erased pointer to the owner's stack-allocated [`SearchCtx`]. See the
 /// module docs for the protocol that keeps dereferences inside the owner's
@@ -90,6 +112,16 @@ struct Progress {
     finished: usize,
     /// Deposited per-worker results: (best, stats, steals, broadcasts).
     results: Vec<(Option<Best>, SearchStats, u64, u64)>,
+    /// The first panic any participant caught while processing a unit. Once
+    /// set, the job's results are discarded and the owner re-raises the
+    /// failure as a structured error. Claiming stays allowed — claimers keep
+    /// marking units done so the owner's wait can terminate.
+    failed: Option<String>,
+    /// Set (under this lock) by the owner's wedge exit, just before its
+    /// stack frame — and the context it holds — goes away. New claimants
+    /// check this flag under the lock and refuse to claim, so they never
+    /// dereference the dangling context pointer.
+    abandoned: bool,
 }
 
 /// One posted parallel search job.
@@ -104,12 +136,42 @@ struct Job {
 }
 
 impl Job {
+    /// Locks the progress state, recovering from poisoning. Sound: every
+    /// critical section is a counter bump, a `Vec` push or an `Option` set —
+    /// none can be observed half-done, so the poison flag carries no
+    /// information and recovery keeps the completion protocol alive after a
+    /// participant panic.
+    fn progress(&self) -> MutexGuard<'_, Progress> {
+        self.progress.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn mark_unit_done(&self) {
-        let mut p = self.progress.lock().unwrap();
+        let mut p = self.progress();
         p.units_done += 1;
         if p.units_done == self.total_units {
             self.done_cv.notify_all();
         }
+    }
+
+    /// Records the first failure any participant observes. Units keep being
+    /// marked done afterwards (so the owner's wait terminates), but their
+    /// results are discarded and the owner re-raises the failure.
+    fn record_failure(&self, error: String) {
+        let mut p = self.progress();
+        if p.failed.is_none() {
+            p.failed = Some(error);
+        }
+    }
+}
+
+/// Renders a caught panic payload as an error string.
+fn panic_error(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -118,6 +180,17 @@ impl Job {
 struct Pool {
     shared: Mutex<PoolShared>,
     work_cv: Condvar,
+}
+
+impl Pool {
+    /// Locks the pool state, recovering from poisoning. Sound: every
+    /// critical section writes a handful of scalars/`Option`s that are valid
+    /// in any prefix. Worst case a poster that panicked mid-post leaves
+    /// `busy == true` forever — subsequent searches then degrade gracefully
+    /// to their sequential walk instead of panicking on a poisoned lock.
+    fn shared(&self) -> MutexGuard<'_, PoolShared> {
+        self.shared.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 struct PoolShared {
@@ -161,7 +234,7 @@ pub(crate) fn run_parallel(
 ) -> bool {
     require_sync(ctx);
     let target = (UNITS_PER_THREAD * threads).min(MAX_UNITS);
-    let (units, gen_pruned_symmetry) = ctx.collect_units(target);
+    let (units, gen_pruned_symmetry, gen_skipped_budget) = ctx.collect_units(target);
     if units.len() < 2 {
         return false;
     }
@@ -169,7 +242,7 @@ pub(crate) fn run_parallel(
 
     let pool = pool();
     {
-        let mut shared = pool.shared.lock().unwrap();
+        let mut shared = pool.shared();
         if shared.busy {
             return false;
         }
@@ -209,45 +282,59 @@ pub(crate) fn run_parallel(
             units_done: 0,
             finished: 0,
             results: Vec::new(),
+            failed: None,
+            abandoned: false,
         }),
         done_cv: Condvar::new(),
     });
     let expected_deposits = participants - 1;
     {
-        let mut shared = pool.shared.lock().unwrap();
+        let mut shared = pool.shared();
         shared.job = Some(Arc::clone(&job));
         shared.epoch += 1;
         pool.work_cv.notify_all();
     }
 
-    // The job is committed: charge the orderings symmetry-pruned during unit
-    // generation (the walks below start at the split depth and never revisit
-    // the shallow levels).
+    // The job is committed: charge the orderings symmetry-pruned and
+    // budget-skipped during unit generation (the walks below start at the
+    // split depth and never revisit the shallow levels).
     owner_state.stats.pruned_symmetry += gen_pruned_symmetry;
+    owner_state.stats.skipped_budget += gen_skipped_budget;
 
     // Participate: drain own deque, then steal.
     let mut owner_steals = 0u64;
     drain(ctx, owner_state, &own, 0, &job, &mut owner_steals);
 
-    // Wait for every unit to be processed and every claimed deque deposited.
-    {
-        let mut p = job.progress.lock().unwrap();
-        while p.units_done < job.total_units || p.finished + p.unclaimed < expected_deposits {
-            p = job.done_cv.wait(p).unwrap();
-        }
-    }
+    // Wait for every unit to be processed and every claimed deque deposited,
+    // detecting the wedged state instead of blocking on it forever.
+    let wait_result = wait_for_completion(&job, expected_deposits);
 
     // Unpost the job before merging so the pool frees up immediately.
     {
-        let mut shared = pool.shared.lock().unwrap();
+        let mut shared = pool.shared();
         shared.job = None;
         shared.busy = false;
+    }
+
+    let failed = job.progress().failed.take();
+    if let Err(wedged) = wait_result {
+        // All deposits are in (no thread still references the context) yet
+        // units are missing: surface the structured error. The pool itself
+        // was unposted above and stays usable.
+        panic!("{wedged}");
+    }
+    if let Some(error) = failed {
+        // A participant caught a panic while processing a unit. Its partial
+        // walk state is untrustworthy, so the whole search fails as one
+        // structured error — callers (the sweep engine) isolate it to the
+        // design point that triggered it.
+        panic!("parallel mapping search failed: {error}");
     }
 
     // Deterministic reduction: strict total order ending in the unique
     // lexicographic rank — merge order cannot matter.
     let mut total_steals = owner_steals;
-    let results = std::mem::take(&mut job.progress.lock().unwrap().results);
+    let results = std::mem::take(&mut job.progress().results);
     for (best, stats, steals, broadcasts) in results {
         owner_state.stats.accumulate(&stats);
         total_steals += steals;
@@ -269,6 +356,12 @@ pub(crate) fn run_parallel(
 
 /// Processes units until none are left anywhere: LIFO pops from `own`,
 /// then FIFO steals from every *other* participant's deque.
+///
+/// Every unit is guarded by `catch_unwind`: a panic while processing records
+/// the failure on the job and flips this participant to *unsound* — it keeps
+/// draining so every remaining unit is still marked done (the owner's wait
+/// terminates), but stops touching its now-untrustworthy walk state. Returns
+/// whether the participant stayed sound; unsound results must be discarded.
 fn drain(
     ctx: &SearchCtx<'_, '_>,
     state: &mut WorkerState,
@@ -276,12 +369,89 @@ fn drain(
     own_index: usize,
     job: &Job,
     steals: &mut u64,
-) {
+) -> bool {
+    let mut sound = true;
     loop {
-        let unit = own.pop().or_else(|| steal_any(job, own_index, steals));
+        // `quiet_panics`: both catches below report the payload through the
+        // job's structured failure, so the default hook's stderr dump would
+        // only duplicate it.
+        let acquired = defines_telemetry::quiet_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                failpoint!("pool.steal");
+                own.pop().or_else(|| steal_any(job, own_index, steals))
+            }))
+        });
+        let unit = match acquired {
+            Ok(unit) => unit,
+            Err(payload) => {
+                // Acquisition itself panicked (before any unit was popped —
+                // both the failpoint and any deque failure fire pre-pop), so
+                // no unit is lost: stop participating and let the remaining
+                // units be drained by the other participants, with the wedge
+                // detector as the backstop if none are left.
+                job.record_failure(panic_error(payload.as_ref()));
+                return false;
+            }
+        };
         let Some(unit) = unit else { break };
-        ctx.process_unit(state, &unit);
+        if sound {
+            let processed = defines_telemetry::quiet_panics(|| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    failpoint!("pool.unit");
+                    ctx.process_unit(state, &unit);
+                }))
+            });
+            if let Err(payload) = processed {
+                job.record_failure(panic_error(payload.as_ref()));
+                sound = false;
+            }
+        }
         job.mark_unit_done();
+    }
+    sound
+}
+
+/// Blocks until every unit is processed and every claimed deque deposited —
+/// or reports a wedged job as a structured error instead of hanging forever.
+///
+/// The wedge condition is exact, not heuristic: `finished` reaches
+/// `expected_deposits` only once *every* worker deque has been claimed and
+/// its claimer has deposited, and the owner (the caller) has already left
+/// its own drain — so no participant can ever process a unit again and
+/// `units_done` is frozen. If it is still short of `total_units`, the
+/// missing units can never complete. Note the condition is deliberately
+/// *not* `finished + unclaimed >= expected_deposits`: an unclaimed deque may
+/// still hold units that a late-waking worker will claim and drain, so
+/// `unclaimed > 0` never justifies giving up. `WEDGE_POLL` is pure polling
+/// granularity; it never influences which branch is taken.
+///
+/// On wedge, `abandoned` (and `failed`) are set *under the progress lock*
+/// before returning, so a late claimant can never observe an unabandoned job
+/// whose owner has left — the claim path in [`worker_loop`] checks the flag
+/// under the same lock and refuses to claim (and therefore to dereference
+/// the context pointer).
+fn wait_for_completion(job: &Job, expected_deposits: usize) -> Result<(), String> {
+    let mut p = job.progress();
+    loop {
+        if p.units_done >= job.total_units && p.finished + p.unclaimed >= expected_deposits {
+            return Ok(());
+        }
+        if p.finished >= expected_deposits && p.units_done < job.total_units {
+            let error = format!(
+                "parallel mapping search wedged: {}/{} units completed",
+                p.units_done, job.total_units
+            );
+            p.abandoned = true;
+            if p.failed.is_none() {
+                p.failed = Some(error.clone());
+            }
+            return Err(error);
+        }
+        p = job
+            .done_cv
+            .wait_timeout(p, WEDGE_POLL)
+            .unwrap_or_else(PoisonError::into_inner)
+            .0;
     }
 }
 
@@ -319,7 +489,7 @@ fn worker_loop() {
     let mut last_epoch = 0u64;
     loop {
         let job = {
-            let mut shared = pool.shared.lock().unwrap();
+            let mut shared = pool.shared();
             loop {
                 if shared.epoch != last_epoch {
                     if let Some(job) = shared.job.clone() {
@@ -329,12 +499,19 @@ fn worker_loop() {
                     // The job of this epoch already completed while we slept.
                     last_epoch = shared.epoch;
                 }
-                shared = pool.work_cv.wait(shared).unwrap();
+                shared = pool
+                    .work_cv
+                    .wait(shared)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let claimed = {
-            let mut p = job.progress.lock().unwrap();
-            if p.unclaimed == 0 {
+            let mut p = job.progress();
+            if p.unclaimed == 0 || p.abandoned {
+                // Nothing left to claim — or the owner wedge-exited and the
+                // context pointer is dangling. (A merely *failed* job must
+                // still be claimed and drained: marking its remaining units
+                // done is what lets the owner's wait terminate.)
                 None
             } else {
                 p.unclaimed -= 1;
@@ -350,27 +527,25 @@ fn worker_loop() {
             continue;
         };
         // Having claimed a deque, this thread MUST deposit below — the
-        // owner's exit condition counts on it. The context stays alive at
-        // least until then (module docs).
-        let mut state: Option<WorkerState> = None;
+        // owner's exit condition counts on it.
+        //
+        // SAFETY: the deque was claimed under the progress lock while the
+        // job was unabandoned. From this point until the deposit below,
+        // `finished <= expected_deposits - 1` (this claimer has not
+        // deposited) and `finished + unclaimed <= expected_deposits - 1`
+        // (the claim consumed one `unclaimed` without adding a `finished`),
+        // so neither the normal nor the wedge exit of `wait_for_completion`
+        // can be taken — the owner's stack frame (and the context it holds)
+        // outlives this drain.
+        let ctx: &SearchCtx<'_, '_> = unsafe { &*job.ctx.0 };
+        let mut state = WorkerState::fresh(ctx);
         let mut steals = 0u64;
-        loop {
-            let unit = own
-                .pop()
-                .or_else(|| steal_any(&job, own_index, &mut steals));
-            let Some(unit) = unit else { break };
-            // SAFETY: a unit was obtained, so `units_done < total` held at
-            // the pop/steal and the owner cannot return before this unit is
-            // marked done — the context outlives this dereference window.
-            let ctx: &SearchCtx<'_, '_> = unsafe { &*job.ctx.0 };
-            let st = state.get_or_insert_with(|| WorkerState::fresh(ctx));
-            ctx.process_unit(st, &unit);
-            job.mark_unit_done();
-        }
-        let mut p = job.progress.lock().unwrap();
+        let sound = drain(ctx, &mut state, &own, own_index, &job, &mut steals);
+        let mut p = job.progress();
         p.finished += 1;
-        if let Some(st) = state {
-            p.results.push((st.best, st.stats, steals, st.broadcasts));
+        if sound {
+            p.results
+                .push((state.best, state.stats, steals, state.broadcasts));
         }
         job.done_cv.notify_all();
     }
@@ -378,9 +553,48 @@ fn worker_loop() {
 
 #[cfg(test)]
 mod tests {
+    use super::{wait_for_completion, CtxPtr, Job, Progress};
     use crate::search::SearchStats;
     use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::Barrier;
+    use std::sync::{Barrier, Condvar, Mutex};
+
+    /// A job whose unit count can never be reached (one unit, no deque
+    /// holding it) must be reported as a structured wedge error — with the
+    /// failed flag set for late claimants — instead of blocking the owner
+    /// forever on the completion condvar.
+    #[test]
+    fn wedged_job_is_reported_not_hung() {
+        let job = Job {
+            ctx: CtxPtr(std::ptr::null()),
+            stealers: Vec::new(),
+            total_units: 1,
+            progress: Mutex::new(Progress {
+                deques: Vec::new(),
+                unclaimed: 0,
+                units_done: 0,
+                finished: 0,
+                results: Vec::new(),
+                failed: None,
+                abandoned: false,
+            }),
+            done_cv: Condvar::new(),
+        };
+        let error = wait_for_completion(&job, 0).expect_err("job is wedged");
+        assert!(
+            error.contains("wedged") && error.contains("0/1"),
+            "structured wedge error, got: {error}"
+        );
+        let p = job.progress();
+        assert_eq!(
+            p.failed.as_deref(),
+            Some(error.as_str()),
+            "failure recorded for the owner to re-raise"
+        );
+        assert!(
+            p.abandoned,
+            "abandoned flag set under the lock so late claimants back off"
+        );
+    }
 
     /// Demonstrates why the parallel search keeps *per-worker* stats merged
     /// at the end instead of one shared mutable counter: an unsynchronized

@@ -73,14 +73,16 @@ const PARALLEL_MIN_ORDERINGS: u64 = 8;
 /// Counters describing one temporal-mapping search
 /// ([`LomaMapper::optimize_with_stats`](crate::LomaMapper::optimize_with_stats)).
 ///
-/// `evaluated + pruned_bound + pruned_symmetry == orderings_selected` always
-/// holds: every candidate ordering is either fully evaluated or attributed to
-/// exactly one pruning mechanism. On the parallel path each worker counts
-/// into its own private `SearchStats` and the owner merges them with
-/// [`SearchStats::accumulate`] after the join — counters are never shared
-/// mutable state, so the invariant survives any interleaving (the
-/// *split* between `evaluated` and `pruned_bound` may legitimately vary with
-/// thread count and incumbent timing; the sum may not).
+/// `evaluated + pruned_bound + pruned_symmetry + skipped_budget ==
+/// orderings_selected` always holds: every candidate ordering is either fully
+/// evaluated or attributed to exactly one skip mechanism. On the parallel
+/// path each worker counts into its own private `SearchStats` and the owner
+/// merges them with [`SearchStats::accumulate`] after the join — counters are
+/// never shared mutable state, so the invariant survives any interleaving
+/// (the *split* between `evaluated` and `pruned_bound` may legitimately vary
+/// with thread count and incumbent timing; the sum may not, and
+/// `skipped_budget` is a pure function of candidate ranks, identical at any
+/// thread count).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SearchStats {
     /// Loop dimensions with a non-trivial temporal trip count.
@@ -97,6 +99,11 @@ pub struct SearchStats {
     /// Candidate orderings skipped as non-canonical members of a symmetry
     /// orbit (only active when the full permutation space is enumerated).
     pub pruned_symmetry: u64,
+    /// Candidate orderings skipped because their rank in the deterministic
+    /// enumeration fell at or beyond [`crate::Budget::max_orderings`]. A
+    /// non-zero count marks the returned cost as *degraded*: it is the exact
+    /// optimum of the in-budget candidate window, not of the full space.
+    pub skipped_budget: u64,
 }
 
 impl SearchStats {
@@ -108,6 +115,7 @@ impl SearchStats {
         self.evaluated += other.evaluated;
         self.pruned_bound += other.pruned_bound;
         self.pruned_symmetry += other.pruned_symmetry;
+        self.skipped_budget += other.skipped_budget;
     }
 
     /// Orderings skipped by either pruning mechanism.
@@ -136,6 +144,10 @@ impl Serialize for SearchStats {
             (
                 "pruned_symmetry".to_string(),
                 Value::U64(self.pruned_symmetry),
+            ),
+            (
+                "skipped_budget".to_string(),
+                Value::U64(self.skipped_budget),
             ),
         ])
     }
@@ -224,7 +236,20 @@ pub(crate) fn search_with_incumbent(
         (cell, _) => cell,
     };
 
-    let ctx = SearchCtx::new(problem, config.objective, &loops, sample, max, incumbent);
+    let budget = if config.budget.max_orderings == 0 {
+        u64::MAX
+    } else {
+        config.budget.max_orderings
+    };
+    let ctx = SearchCtx::new(
+        problem,
+        config.objective,
+        &loops,
+        sample,
+        max,
+        budget,
+        incumbent,
+    );
     let mut state = WorkerState::fresh(&ctx);
     state.stats = stats;
 
@@ -237,13 +262,14 @@ pub(crate) fn search_with_incumbent(
 
     let stats = state.stats;
     debug_assert_eq!(
-        stats.evaluated + stats.pruned_bound + stats.pruned_symmetry,
+        stats.evaluated + stats.pruned_bound + stats.pruned_symmetry + stats.skipped_budget,
         stats.orderings_selected
     );
     let best = state.best.expect("at least one ordering evaluated");
     let order = best.order[..best.order_len].to_vec();
     let mapping = TemporalMapping::from_order(problem, &order);
-    let cost = evaluate(problem, &mapping);
+    let mut cost = evaluate(problem, &mapping);
+    cost.degraded = stats.skipped_budget > 0;
     debug_assert_eq!(
         cost.objective_value(config.objective, problem.accelerator.hierarchy().dram_id()),
         best.value,
@@ -366,6 +392,11 @@ pub(crate) struct SearchCtx<'p, 'a> {
     symmetry: bool,
     sample: bool,
     max: u64,
+    /// Rank-window budget: candidates whose selected-index reaches this value
+    /// are skipped (`u64::MAX` = unlimited). A pure function of enumeration
+    /// rank, so the skipped set — and the degraded result — is identical at
+    /// any thread count.
+    budget: u64,
     total: u64,
     /// Sub-factorials: `fact[i] = i!`.
     fact: [u64; MAX_LOOPS + 1],
@@ -423,6 +454,7 @@ impl<'p, 'a> SearchCtx<'p, 'a> {
         loops: &[crate::temporal::TemporalLoop],
         sample: bool,
         max: u64,
+        budget: u64,
         incumbent: Option<&'p AtomicU64>,
     ) -> Self {
         let unrolling = problem.accelerator.pe_array().unrolling();
@@ -507,6 +539,7 @@ impl<'p, 'a> SearchCtx<'p, 'a> {
             symmetry: !sample,
             sample,
             max,
+            budget,
             total,
             fact,
             ops,
@@ -632,6 +665,17 @@ impl<'p, 'a> SearchCtx<'p, 'a> {
                 state.stats.pruned_symmetry += selected;
                 continue;
             }
+            // Rank-window budget: a subtree whose first candidate already
+            // sits at or beyond the budget is skipped wholesale. The check
+            // depends only on enumeration ranks — never on timing or the
+            // incumbent — so the skipped set is identical at any thread
+            // count and the degraded result stays deterministic.
+            let start_rank = self.selected_in(0, base);
+            if start_rank >= self.budget {
+                state.stats.skipped_budget += selected;
+                continue;
+            }
+            let fully_in_budget = start_rank + selected <= self.budget;
             let mut child = *states;
             self.push(state, depth, idx, &mut child);
             if depth + 1 == k {
@@ -644,14 +688,17 @@ impl<'p, 'a> SearchCtx<'p, 'a> {
             // amortize. The prune reference is the tighter of this worker's
             // best and the shared incumbent — both are exact evaluated
             // costs, so both are >= the optimum and strict pruning stays
-            // deterministic.
+            // deterministic. Subtrees straddling the budget boundary always
+            // recurse: bound-pruning them would charge their beyond-budget
+            // tail to `pruned_bound`, making `skipped_budget` depend on
+            // incumbent timing.
             let local = state.best.as_ref().map(|b| b.value);
             let reference = match (local, self.incumbent_value()) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, None) => a,
                 (None, b) => b,
             };
-            if let (Some(best_value), true) = (reference, selected > 1) {
+            if let (Some(best_value), true) = (reference, selected > 1 && fully_in_budget) {
                 let (bound, _, _) = self.eval_scalars(state, &child, false);
                 if bound > best_value {
                     state.stats.pruned_bound += selected;
@@ -666,17 +713,19 @@ impl<'p, 'a> SearchCtx<'p, 'a> {
 
     /// Enumerates the prefix subtrees at the shallowest split depth that
     /// yields at least `target` work units (bounded by depth `k - 1`),
-    /// applying the same sampling-window and symmetry skips as the walk
-    /// itself. Returns the units plus the number of orderings
-    /// symmetry-pruned at the skipped shallow depths (the caller charges
-    /// them to its stats exactly once).
-    pub(crate) fn collect_units(&self, target: usize) -> (Vec<Unit>, u64) {
+    /// applying the same sampling-window, symmetry and budget skips as the
+    /// walk itself. Returns the units plus the number of orderings
+    /// symmetry-pruned and budget-skipped at the skipped shallow depths (the
+    /// caller charges them to its stats exactly once).
+    pub(crate) fn collect_units(&self, target: usize) -> (Vec<Unit>, u64, u64) {
         let k = self.dims.len();
         let mut units = Vec::new();
         let mut pruned_symmetry = 0u64;
+        let mut skipped_budget = 0u64;
         for split in 1..k {
             units.clear();
             pruned_symmetry = 0;
+            skipped_budget = 0;
             let mut used = 0u8;
             let mut prefix = [0u8; MAX_LOOPS];
             self.units_at(
@@ -687,18 +736,21 @@ impl<'p, 'a> SearchCtx<'p, 'a> {
                 &mut prefix,
                 &mut units,
                 &mut pruned_symmetry,
+                &mut skipped_budget,
             );
             if units.len() >= target || split == k - 1 {
                 break;
             }
         }
-        (units, pruned_symmetry)
+        (units, pruned_symmetry, skipped_budget)
     }
 
     /// Recursive helper of [`SearchCtx::collect_units`]: replays the
     /// enumeration structure of [`SearchCtx::descend`] (branch order, leaf
-    /// bases, sampling windows, symmetry skips) down to `split`, emitting a
-    /// [`Unit`] per surviving prefix.
+    /// bases, sampling windows, symmetry and budget skips) down to `split`,
+    /// emitting a [`Unit`] per surviving prefix. Skips must mirror `descend`
+    /// exactly — same checks, same order — so the sequential walk and the
+    /// parallel decomposition attribute every candidate to the same counter.
     #[allow(clippy::too_many_arguments)]
     fn units_at(
         &self,
@@ -709,6 +761,7 @@ impl<'p, 'a> SearchCtx<'p, 'a> {
         prefix: &mut [u8; MAX_LOOPS],
         out: &mut Vec<Unit>,
         pruned_symmetry: &mut u64,
+        skipped_budget: &mut u64,
     ) {
         let k = self.dims.len();
         let sub = self.fact[k - depth - 1];
@@ -727,6 +780,10 @@ impl<'p, 'a> SearchCtx<'p, 'a> {
                 *pruned_symmetry += selected;
                 continue;
             }
+            if self.selected_in(0, base) >= self.budget {
+                *skipped_budget += selected;
+                continue;
+            }
             prefix[depth] = idx as u8;
             if depth + 1 == split {
                 out.push(Unit {
@@ -737,7 +794,16 @@ impl<'p, 'a> SearchCtx<'p, 'a> {
                 continue;
             }
             *used |= 1 << idx;
-            self.units_at(split, depth + 1, base, used, prefix, out, pruned_symmetry);
+            self.units_at(
+                split,
+                depth + 1,
+                base,
+                used,
+                prefix,
+                out,
+                pruned_symmetry,
+                skipped_budget,
+            );
             *used &= !(1 << idx);
         }
     }
@@ -1097,7 +1163,7 @@ mod tests {
             let (pruned, stats) = mapper.optimize_with_stats(&problem);
             assert_eq!(pruned, exhaustive, "{} / {}", acc.name(), layer.name);
             assert_eq!(
-                stats.evaluated + stats.pruned_bound + stats.pruned_symmetry,
+                stats.evaluated + stats.pruned_bound + stats.pruned_symmetry + stats.skipped_budget,
                 stats.orderings_selected
             );
         }
@@ -1112,6 +1178,7 @@ mod tests {
                     objective: Objective::Energy,
                     max_orderings: max,
                     search_threads: 1,
+                    budget: crate::Budget::default(),
                 });
                 let exhaustive = mapper.optimize_exhaustive(&problem);
                 let (pruned, stats) = mapper.optimize_with_stats(&problem);
@@ -1211,7 +1278,10 @@ mod tests {
                     layer.name
                 );
                 assert_eq!(
-                    stats.evaluated + stats.pruned_bound + stats.pruned_symmetry,
+                    stats.evaluated
+                        + stats.pruned_bound
+                        + stats.pruned_symmetry
+                        + stats.skipped_budget,
                     stats.orderings_selected,
                     "stats invariant at {threads} threads: {stats:?}"
                 );
@@ -1226,9 +1296,18 @@ mod tests {
         let layer = Layer::new("c", OpType::Conv, LayerDims::conv(64, 32, 28, 28, 3, 3));
         let problem = SingleLayerProblem::new(&acc, &layer);
         let loops = active_loops(&problem);
-        let ctx = SearchCtx::new(&problem, Objective::Energy, &loops, false, u64::MAX, None);
+        let ctx = SearchCtx::new(
+            &problem,
+            Objective::Energy,
+            &loops,
+            false,
+            u64::MAX,
+            u64::MAX,
+            None,
+        );
         for target in [2, 8, 32, 64] {
-            let (units, pruned_symmetry) = ctx.collect_units(target);
+            let (units, pruned_symmetry, skipped_budget) = ctx.collect_units(target);
+            assert_eq!(skipped_budget, 0, "unlimited budget skips nothing");
             // Every unit's subtree plus the symmetry-skipped shallow
             // subtrees partition the selected candidate set.
             let covered: u64 = units
@@ -1240,6 +1319,59 @@ mod tests {
                 .sum();
             assert_eq!(covered + pruned_symmetry, 720, "target={target}");
         }
+    }
+
+    #[test]
+    fn budgeted_search_is_bit_identical_at_any_thread_count() {
+        for (acc, layer) in problems() {
+            let problem = SingleLayerProblem::new(&acc, &layer);
+            for budget in [1, 3, 17, 100] {
+                let config = MapperConfig::default()
+                    .with_budget(crate::Budget::orderings(budget))
+                    .with_search_threads(1);
+                let (seq_cost, seq_stats) = search(&problem, &config);
+                for threads in [2, 4, 8] {
+                    let config = config.with_search_threads(threads);
+                    let (cost, stats) = search(&problem, &config);
+                    assert_eq!(
+                        cost,
+                        seq_cost,
+                        "{} budget={budget} at {threads} threads",
+                        acc.name()
+                    );
+                    assert_eq!(
+                        stats.skipped_budget,
+                        seq_stats.skipped_budget,
+                        "budget skips are rank-pure: {} budget={budget}",
+                        acc.name()
+                    );
+                    assert_eq!(
+                        stats.evaluated
+                            + stats.pruned_bound
+                            + stats.pruned_symmetry
+                            + stats.skipped_budget,
+                        stats.orderings_selected
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_flags_the_cost_degraded() {
+        let acc = zoo::meta_proto_like_df();
+        let layer = Layer::new("c", OpType::Conv, LayerDims::conv(64, 32, 28, 28, 3, 3));
+        let problem = SingleLayerProblem::new(&acc, &layer);
+        let tight = MapperConfig::default().with_budget(crate::Budget::orderings(2));
+        let (cost, stats) = search(&problem, &tight);
+        assert!(stats.skipped_budget > 0, "{stats:?}");
+        assert!(cost.degraded, "exhausted budget must flag the result");
+        // The degraded result is the exact optimum of the in-budget window,
+        // so it can never beat the unlimited search.
+        let (full, full_stats) = search(&problem, &MapperConfig::default());
+        assert_eq!(full_stats.skipped_budget, 0);
+        assert!(!full.degraded);
+        assert!(cost.energy_pj >= full.energy_pj - 1e-9);
     }
 
     #[test]
@@ -1256,7 +1388,7 @@ mod tests {
             let (seeded, stats) = search_with_incumbent(&problem, &config, Some(&cell));
             assert_eq!(seeded, reference, "{}", acc.name());
             assert_eq!(
-                stats.evaluated + stats.pruned_bound + stats.pruned_symmetry,
+                stats.evaluated + stats.pruned_bound + stats.pruned_symmetry + stats.skipped_budget,
                 stats.orderings_selected
             );
             assert!(

@@ -1,0 +1,80 @@
+//! Fault-injection campaign against the work-stealing search pool: injected
+//! panics in unit processing and unit acquisition must surface as one
+//! structured search failure — never a hung owner or a wedged pool — and the
+//! pool must stay fully usable afterwards.
+#![cfg(feature = "failpoints")]
+
+use defines_arch::zoo;
+use defines_mapping::{LomaMapper, MapperConfig, SingleLayerProblem};
+use defines_telemetry::fault;
+use defines_workload::{Layer, LayerDims, OpType};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// One sequential campaign (the fault registry and the pool are global, so
+/// the two injections and the reuse check must not race each other).
+#[test]
+fn injected_pool_panics_fail_the_search_cleanly_and_spare_the_pool() {
+    let acc = zoo::meta_proto_like_df();
+    let layer = Layer::new("c", OpType::Conv, LayerDims::conv(64, 32, 28, 28, 3, 3));
+    let problem = SingleLayerProblem::new(&acc, &layer);
+    let config = MapperConfig::default().with_search_threads(4);
+
+    // Baseline before any injection, and proof the problem goes parallel.
+    let sequential = LomaMapper::new(config.with_search_threads(1)).optimize(&problem);
+    let parallel = LomaMapper::new(config).optimize(&problem);
+    assert_eq!(parallel, sequential);
+
+    // Campaign 1: panic while *processing* a unit. Whichever participant hits
+    // the probe first records the failure; the owner must re-raise it as one
+    // structured error after every unit is accounted for.
+    {
+        let _guard = fault::arm("pool.unit", 1);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            LomaMapper::new(config).optimize(&problem)
+        }));
+        let message = panic_message(result.expect_err("injected unit panic must fail the search"));
+        assert!(
+            message.contains("parallel mapping search failed")
+                && message.contains("failpoint pool.unit fired"),
+            "structured failure expected, got: {message}"
+        );
+    }
+
+    // Campaign 2: panic while *acquiring* a unit (pop/steal path). The
+    // panicking participant backs off before any unit is popped, so no unit
+    // is lost — the others drain everything and the owner re-raises the
+    // recorded failure instead of wedging on the completion condvar.
+    {
+        let _guard = fault::arm("pool.steal", 1);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            LomaMapper::new(config).optimize(&problem)
+        }));
+        let message = panic_message(result.expect_err("injected steal panic must fail the search"));
+        assert!(
+            message.contains("parallel mapping search failed")
+                && message.contains("failpoint pool.steal fired"),
+            "structured failure expected, got: {message}"
+        );
+    }
+
+    // The pool survived both injections: fault-free parallel searches still
+    // run (the busy flag was released, no worker is stuck) and still match
+    // the sequential result bit-for-bit.
+    for threads in [2usize, 4, 8] {
+        let rerun = LomaMapper::new(config.with_search_threads(threads)).optimize(&problem);
+        assert_eq!(
+            rerun, sequential,
+            "post-injection search at {threads} threads"
+        );
+    }
+}

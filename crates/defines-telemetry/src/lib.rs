@@ -54,11 +54,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod export;
+pub mod fault;
 pub mod metrics;
+pub mod shield;
 pub mod span;
 
 pub use export::{chrome_trace, PhaseBreakdown, PhaseRow};
 pub use metrics::{snapshot, Counter, Gauge, MetricKind, MetricsSnapshot};
+pub use shield::quiet_panics;
 pub use span::{
     clear_events, drain_events, flush_on_exit, flush_thread_spans, SpanEvent, SpanFlushGuard,
     SpanGuard,
@@ -94,6 +97,24 @@ pub fn metrics_enabled() -> bool {
 /// Switches counter/gauge recording on or off.
 pub fn set_metrics(on: bool) {
     METRICS.store(on, Ordering::Relaxed);
+}
+
+/// Probes a named fault-injection site (see [`fault`]).
+///
+/// Without the `failpoints` cargo feature this expands to an empty inline
+/// function call and compiles away; with it, an armed site panics on its
+/// configured hit. The `cfg` is evaluated inside *this* crate, so callers
+/// compile identically whether or not they forward the feature:
+///
+/// ```
+/// use defines_telemetry::failpoint;
+/// failpoint!("example.site"); // no-op unless armed under `failpoints`
+/// ```
+#[macro_export]
+macro_rules! failpoint {
+    ($name:expr) => {
+        $crate::fault::check($name)
+    };
 }
 
 /// Opens a span: records wall time from here to the end of the enclosing

@@ -50,7 +50,7 @@ fn assert_parity(acc: &defines_arch::Accelerator, layer: &Layer, config: MapperC
         stats
     );
     assert_eq!(
-        stats.evaluated + stats.pruned_bound + stats.pruned_symmetry,
+        stats.evaluated + stats.pruned_bound + stats.pruned_symmetry + stats.skipped_budget,
         stats.orderings_selected,
         "search counters must account for every candidate ordering"
     );
@@ -97,7 +97,7 @@ proptest! {
     ) {
         let acc = zoo::meta_proto_like_df();
         let layer = Layer::new("l", op, dims);
-        let config = MapperConfig { objective: Objective::Energy, max_orderings: max, search_threads: 1 };
+        let config = MapperConfig { objective: Objective::Energy, max_orderings: max, ..MapperConfig::default() };
         assert_parity(&acc, &layer, config);
     }
 
@@ -164,7 +164,7 @@ fn assert_parallel_parity(acc: &defines_arch::Accelerator, layer: &Layer, config
             "candidate selection must not depend on the thread count"
         );
         assert_eq!(
-            stats.evaluated + stats.pruned_bound + stats.pruned_symmetry,
+            stats.evaluated + stats.pruned_bound + stats.pruned_symmetry + stats.skipped_budget,
             stats.orderings_selected,
             "search counters must account for every candidate at {threads} threads"
         );
