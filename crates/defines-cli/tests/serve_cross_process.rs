@@ -1,0 +1,234 @@
+//! Cross-process determinism harness for the scheduling daemon.
+//!
+//! Spawns the *real* `serve` binary (no in-process shortcuts) and drives it
+//! with the real `defines-request` client, pinning the serving invariant:
+//! the daemon's answer for a request is byte-identical to a standalone run —
+//! cold, warm (memo hit), after a clean shutdown/restart, and after an
+//! abrupt SIGKILL/restart, all through the persisted on-disk cache.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+/// A running `serve` child with its scraped address; killed on drop so a
+/// failing assertion never leaks a daemon.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawns the daemon binary and scrapes `listening on HOST:PORT` from
+    /// its stdout (the line is flushed before the accept loop starts).
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+            .args(["--addr", "127.0.0.1:0"])
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("cannot spawn the serve binary");
+        let stdout = child.stdout.take().expect("serve stdout is piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let first = lines
+            .next()
+            .expect("serve exited without output")
+            .expect("cannot read serve stdout");
+        let addr = first
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected serve banner: {first}"))
+            .to_string();
+        // Drain the rest of stdout on a detached thread so the daemon never
+        // blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        Daemon { child, addr }
+    }
+
+    /// Clean shutdown through the protocol; waits for the process to exit.
+    fn shutdown(mut self) {
+        let out = request(&self.addr, &["--shutdown"]);
+        assert!(out.contains("\"shutdown\":true"), "{out}");
+        let status = self.child.wait().expect("cannot wait for serve");
+        assert!(status.success(), "serve exited with {status}");
+    }
+
+    /// Abrupt kill (SIGKILL) — the crash-recovery path.
+    fn kill(mut self) {
+        self.child.kill().expect("cannot kill serve");
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Runs `defines-request` against a daemon and returns its stdout line.
+fn request(addr: &str, args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_defines-request"))
+        .args(["--addr", addr])
+        .args(args)
+        .output()
+        .expect("cannot run defines-request");
+    assert!(
+        out.status.success(),
+        "defines-request {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout)
+        .expect("response is UTF-8")
+        .trim_end()
+        .to_string()
+}
+
+/// The cheap request the whole harness revolves around (FSRCNN is the
+/// smallest zoo workload; one tile, one mode, fixed fuse keeps a debug-build
+/// run in milliseconds).
+const REQUEST_A: [&str; 12] = [
+    "--workload",
+    "fsrcnn",
+    "--accelerator",
+    "meta-proto-df",
+    "--dfmode",
+    "3",
+    "--tilex",
+    "60",
+    "--tiley",
+    "72",
+    "--fuse",
+    "full",
+];
+
+/// A second, distinct request sharing the accelerator (so it reuses warm
+/// sub-problems without being the same response).
+const REQUEST_B: [&str; 12] = [
+    "--workload",
+    "fsrcnn",
+    "--accelerator",
+    "meta-proto-df",
+    "--dfmode",
+    "1",
+    "--tilex",
+    "48",
+    "--tiley",
+    "48",
+    "--fuse",
+    "full",
+];
+
+/// Extracts `"name":<digits>` from a stats response (the vendored JSON
+/// renderer emits no whitespace, so this is exact).
+fn stat(stats: &str, name: &str) -> u64 {
+    let pat = format!("\"{name}\":");
+    let at = stats
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {name} in {stats}"));
+    stats[at + pat.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("stat value")
+}
+
+fn temp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("defines-serve-harness-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("cannot create temp dir");
+    dir.join(format!("{tag}.jsonl"))
+}
+
+#[test]
+fn daemon_matches_standalone_cold_warm_and_across_restarts() {
+    let cache = temp_cache("lifecycle");
+    let _ = std::fs::remove_file(&cache);
+    let cache_str = cache.to_str().unwrap();
+
+    // Ground truth: the standalone path, no daemon involved.
+    let standalone_a = {
+        let out = Command::new(env!("CARGO_BIN_EXE_defines-request"))
+            .arg("--standalone")
+            .args(REQUEST_A)
+            .output()
+            .expect("cannot run standalone request");
+        assert!(out.status.success());
+        String::from_utf8(out.stdout)
+            .unwrap()
+            .trim_end()
+            .to_string()
+    };
+    assert!(standalone_a.starts_with("{\"ok\":true,"), "{standalone_a}");
+
+    // Cold daemon: first answer is computed, second is a memo hit; both must
+    // be the standalone bytes.
+    let daemon = Daemon::spawn(&["--cache-file", cache_str]);
+    let cold = request(&daemon.addr, &REQUEST_A);
+    let warm = request(&daemon.addr, &REQUEST_A);
+    assert_eq!(cold, standalone_a, "cold daemon answer != standalone");
+    assert_eq!(warm, standalone_a, "warm daemon answer != standalone");
+    let stats = request(&daemon.addr, &["--stats"]);
+    assert_eq!(stat(&stats, "requests"), 2);
+    assert_eq!(stat(&stats, "memo_hits"), 1);
+    assert_eq!(stat(&stats, "computed"), 1);
+    assert!(stat(&stats, "stored") > 0, "nothing persisted: {stats}");
+    daemon.shutdown();
+
+    // Clean restart: the answer must come from the persisted cache (zero
+    // mapping-cache misses) and still be the same bytes.
+    let daemon = Daemon::spawn(&["--cache-file", cache_str]);
+    let after_restart = request(&daemon.addr, &REQUEST_A);
+    assert_eq!(
+        after_restart, standalone_a,
+        "restarted answer != standalone"
+    );
+    let stats = request(&daemon.addr, &["--stats"]);
+    assert!(stat(&stats, "cache_loads") > 0, "no preload: {stats}");
+    assert_eq!(stat(&stats, "misses"), 0, "restart recomputed: {stats}");
+    // Grow the cache with a second request, then crash without ceremony.
+    let b_before_kill = request(&daemon.addr, &REQUEST_B);
+    daemon.kill();
+
+    // Kill/restart: per-batch syncing means the abrupt exit lost nothing.
+    let daemon = Daemon::spawn(&["--cache-file", cache_str]);
+    assert_eq!(request(&daemon.addr, &REQUEST_A), standalone_a);
+    assert_eq!(request(&daemon.addr, &REQUEST_B), b_before_kill);
+    let stats = request(&daemon.addr, &["--stats"]);
+    assert_eq!(stat(&stats, "misses"), 0, "kill lost entries: {stats}");
+    daemon.shutdown();
+}
+
+#[test]
+fn daemon_rejects_malformed_requests_and_keeps_serving() {
+    let daemon = Daemon::spawn(&[]);
+    let out = Command::new(env!("CARGO_BIN_EXE_defines-request"))
+        .args(["--addr", &daemon.addr])
+        .args(["--workload", "fsrcnn", "--accelerator", "meta-proto-df"])
+        .args(["--dfmode", "9"])
+        .output()
+        .expect("cannot run defines-request");
+    // Keyword validation happens client-side, before any bytes hit the wire.
+    assert!(!out.status.success(), "bad dfmode must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("dfmode"));
+
+    // An unknown zoo name fails at resolution, inside the daemon.
+    let out = Command::new(env!("CARGO_BIN_EXE_defines-request"))
+        .args(["--addr", &daemon.addr])
+        .args([
+            "--workload",
+            "no-such-net",
+            "--accelerator",
+            "meta-proto-df",
+        ])
+        .args(["--tilex", "60", "--tiley", "72"])
+        .output()
+        .expect("cannot run defines-request");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("unknown workload"));
+
+    // The daemon is still healthy afterwards.
+    let pong = request(&daemon.addr, &["--ping"]);
+    assert!(pong.contains("\"pong\":true"), "{pong}");
+    daemon.shutdown();
+}

@@ -80,32 +80,12 @@ pub struct Checkpoint {
     pub torn_tail: bool,
 }
 
-/// Deterministic FNV-1a over a byte stream — used instead of
-/// `DefaultHasher` because checkpoints outlive the process and
-/// `DefaultHasher`'s algorithm is not guaranteed stable across Rust
-/// releases.
-pub(crate) struct Fnv(u64);
-
-impl Fnv {
-    pub(crate) fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    pub(crate) fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    pub(crate) fn write_u64(&mut self, n: u64) {
-        self.write(&n.to_le_bytes());
-    }
-
-    pub(crate) fn finish(&self) -> u64 {
-        self.0
-    }
-}
+// Deterministic FNV-1a over a byte stream — used instead of
+// `DefaultHasher` because checkpoints outlive the process and
+// `DefaultHasher`'s algorithm is not guaranteed stable across Rust
+// releases. The implementation lives in `defines-engine` so the
+// mapping-cache store shares the exact same fingerprint algorithm.
+pub(crate) use defines_engine::Fnv;
 
 impl CheckpointHeader {
     fn to_value(&self) -> Value {

@@ -51,6 +51,7 @@
 
 pub mod backcalc;
 pub mod baselines;
+pub mod batch;
 pub mod bounds;
 pub mod checkpoint;
 pub mod datacopy;
@@ -65,6 +66,7 @@ pub mod stack;
 pub mod strategy;
 pub mod tiling;
 
+pub use batch::{run_batch, BatchConfig, BatchItem, BatchOutcome};
 pub use bounds::StrategyBounds;
 pub use checkpoint::{Checkpoint, CheckpointHeader};
 pub use evaluate::{DfCostModel, EvaluationError, PreparedNetwork};

@@ -34,7 +34,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod fnv;
 pub mod memo;
 
 pub use engine::{EngineConfig, Outcome, SweepEngine, SweepRecord, SweepStats};
+pub use fnv::Fnv;
 pub use memo::{CacheStats, MemoCache};

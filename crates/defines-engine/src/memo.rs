@@ -152,6 +152,48 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
         found
     }
 
+    /// Inserts `value` for `key` without touching the hit/miss counters,
+    /// returning `true` if the key was absent. Used to preload a cache from a
+    /// persisted store: preloaded entries must not masquerade as run-time
+    /// hits or misses, and an entry computed since the store was read wins
+    /// over the stale persisted one.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        match Self::lock_shard(self.shard(&key)).entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(value);
+                true
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present. No effect on the
+    /// hit/miss counters (eviction is bookkeeping, not a lookup).
+    pub fn remove(&self, key: &K) -> Option<V> {
+        Self::lock_shard(self.shard(key)).remove(key)
+    }
+
+    /// The cached value for `key` without counting a hit or miss — for
+    /// bookkeeping reads (persistence) that must not distort the lookup
+    /// statistics.
+    pub fn peek(&self, key: &K) -> Option<V> {
+        Self::lock_shard(self.shard(key)).get(key).cloned()
+    }
+
+    /// All entries, in unspecified (shard) order. Callers that need
+    /// determinism must sort; the cache itself has no key ordering.
+    pub fn snapshot(&self) -> Vec<(K, V)>
+    where
+        K: Clone,
+    {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let guard = Self::lock_shard(shard);
+            out.extend(guard.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
+    }
+
     /// Number of distinct entries.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| Self::lock_shard(s).len()).sum()

@@ -18,7 +18,7 @@ use defines_engine::{CacheStats, MemoCache};
 use defines_telemetry::{span, Counter};
 use defines_workload::{LayerDims, OpType};
 use std::collections::HashMap;
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Mapping-cache lookups served from an existing entry.
@@ -37,7 +37,7 @@ static CACHE_CANONICAL_HITS: Counter = Counter::new("mapping.cache.canonical_hit
 /// [`ProblemKey::canonical`] additionally normalizes the components that
 /// provably cannot influence the result, so problems that differ only in
 /// those share one cache entry (a *canonical hit*).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProblemKey {
     /// Structural fingerprint of the accelerator
     /// ([`Accelerator::fingerprint`](defines_arch::Accelerator::fingerprint)).
@@ -160,6 +160,33 @@ pub struct MappingCache {
     /// bit-identical (the cache contract already requires canonical twins
     /// to produce identical costs).
     incumbents: Arc<Mutex<HashMap<ProblemKey, Arc<AtomicU64>>>>,
+    /// Last-used epoch tracking for the persistent store's LRU eviction (see
+    /// [`crate::persist`]). Disabled by default: when off, the hot lookup
+    /// path pays exactly one relaxed atomic load. Epochs advance only at
+    /// *batch* boundaries ([`MappingCache::advance_epoch`]), never per
+    /// lookup, so every touch within one batch records the same epoch and
+    /// the recorded usage is independent of thread interleaving — the
+    /// foundation of the store's deterministic eviction order.
+    usage: Arc<UsageTracker>,
+}
+
+/// See [`MappingCache::usage`].
+#[derive(Debug, Default)]
+struct UsageTracker {
+    enabled: AtomicBool,
+    epoch: AtomicU64,
+    last_used: Mutex<HashMap<ProblemKey, u64>>,
+}
+
+impl UsageTracker {
+    /// Locks the last-used map, recovering from poisoning (same argument as
+    /// [`MappingCache::lock_incumbents`]: every critical section is a single
+    /// map operation that cannot be observed half-done).
+    fn lock(&self) -> MutexGuard<'_, HashMap<ProblemKey, u64>> {
+        self.last_used
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 impl MappingCache {
@@ -207,6 +234,11 @@ impl MappingCache {
         mapper: &LomaMapper,
         problem: &SingleLayerProblem<'_>,
     ) -> Arc<LayerCost> {
+        let key_for_usage = self
+            .usage
+            .enabled
+            .load(Ordering::Relaxed)
+            .then(|| key.clone());
         let (cost, hit) = self.inner.get_or_insert_with_meta(key.clone(), || {
             let _span = span!("mapping.search");
             let cell = Arc::clone(
@@ -225,7 +257,80 @@ impl MappingCache {
         } else {
             CACHE_MISSES.incr();
         }
+        if let Some(key) = key_for_usage {
+            let epoch = self.usage.epoch.load(Ordering::Relaxed);
+            self.usage.lock().insert(key, epoch);
+        }
         cost
+    }
+
+    /// Enables last-used tracking for this cache (and all clones of the
+    /// handle). Required before attaching the cache to a persistent store.
+    pub fn track_usage(&self) {
+        self.usage.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// The current usage epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.usage.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Sets the usage epoch (used when reloading a persisted store, which
+    /// resumes counting after the highest persisted epoch).
+    pub fn set_epoch(&self, epoch: u64) {
+        self.usage.epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// Advances the usage epoch by one. Call at batch boundaries only: all
+    /// lookups between two calls share one epoch, which is what makes the
+    /// recorded usage — and therefore LRU eviction — independent of how
+    /// threads interleaved within the batch.
+    pub fn advance_epoch(&self) {
+        self.usage.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The keys touched since tracking began, with the epoch of their most
+    /// recent touch, sorted by key. Draining (`clear`) keeps the next
+    /// snapshot incremental.
+    pub fn drain_usage(&self) -> Vec<(ProblemKey, u64)> {
+        let mut guard = self.usage.lock();
+        let mut out: Vec<(ProblemKey, u64)> = guard.drain().collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Records a usage epoch for `key` directly (store reload path).
+    pub fn set_usage(&self, key: ProblemKey, epoch: u64) {
+        self.usage.lock().insert(key, epoch);
+    }
+
+    /// Inserts a previously computed cost without touching the hit/miss
+    /// counters, returning `true` if the key was absent. Used by the
+    /// persistent store to warm the cache from disk.
+    pub fn preload(&self, key: ProblemKey, cost: Arc<LayerCost>) -> bool {
+        self.inner.insert(key, cost)
+    }
+
+    /// The cached cost for `key` without counting a hit or miss — for
+    /// persistence bookkeeping that must not distort the lookup statistics.
+    pub fn peek(&self, key: &ProblemKey) -> Option<Arc<LayerCost>> {
+        self.inner.peek(key)
+    }
+
+    /// Removes an entry (and its incumbent cell), returning its cost if it
+    /// was present. Eviction bookkeeping: no effect on hit/miss counters.
+    pub fn remove(&self, key: &ProblemKey) -> Option<Arc<LayerCost>> {
+        self.lock_incumbents().remove(key);
+        self.usage.lock().remove(key);
+        self.inner.remove(key)
+    }
+
+    /// All entries, sorted by key (deterministic regardless of insertion or
+    /// shard order).
+    pub fn entries(&self) -> Vec<(ProblemKey, Arc<LayerCost>)> {
+        let mut out = self.inner.snapshot();
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Hit/miss statistics accumulated since creation (or the last clear).
@@ -238,6 +343,7 @@ impl MappingCache {
     pub fn clear(&self) {
         self.inner.clear();
         self.lock_incumbents().clear();
+        self.usage.lock().clear();
     }
 }
 

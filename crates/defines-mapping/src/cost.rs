@@ -59,6 +59,16 @@ impl AccessBreakdown {
         Self::default()
     }
 
+    /// Rebuilds a breakdown from explicit entries — the deserialization path
+    /// of the persistent mapping-cache store. Entries are re-sorted by
+    /// `(level, operand)` so the invariant the accessors rely on holds even
+    /// if the input order drifted.
+    pub fn from_entries(entries: Vec<((MemoryLevelId, Operand), Access)>) -> Self {
+        let mut map = entries;
+        map.sort_unstable_by_key(|&(k, _)| k);
+        Self { map }
+    }
+
     /// The slot for a key, inserted zeroed if absent.
     fn slot(&mut self, key: (MemoryLevelId, Operand)) -> &mut Access {
         match self.map.binary_search_by_key(&key, |&(k, _)| k) {

@@ -42,14 +42,16 @@ pub mod allocation;
 pub mod cache;
 pub mod cost;
 pub mod loma;
+pub mod persist;
 mod pool;
 pub mod problem;
 pub mod search;
 pub mod temporal;
 
 pub use cache::{MappingCache, ProblemKey};
-pub use cost::{AccessBreakdown, LayerCost, Objective};
+pub use cost::{Access, AccessBreakdown, LayerCost, Objective};
 pub use loma::{Budget, LomaMapper, MapperConfig};
+pub use persist::{CacheStore, StoreError, StoreStats};
 pub use problem::{OperandTopLevels, SingleLayerProblem};
 pub use search::SearchStats;
-pub use temporal::TemporalMapping;
+pub use temporal::{TemporalLoop, TemporalMapping};

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// tile's data fits on chip (the paper's "multi-level memory skipping"); for a
 /// plain single-layer evaluation they default to the outermost level serving
 /// each operand (DRAM).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct OperandTopLevels {
     /// Top level for weights.
     pub weight: MemoryLevelId,

@@ -59,6 +59,14 @@ impl TemporalMapping {
         Self { loops }
     }
 
+    /// Rebuilds a mapping from explicit loops (innermost first) — the
+    /// deserialization path of the persistent mapping-cache store. The loops
+    /// are taken verbatim; callers are expected to pass back exactly what
+    /// [`TemporalMapping::loops`] produced.
+    pub fn from_loops(loops: Vec<TemporalLoop>) -> Self {
+        Self { loops }
+    }
+
     /// The loops, innermost first.
     pub fn loops(&self) -> &[TemporalLoop] {
         &self.loops

@@ -1,0 +1,246 @@
+//! Property tests for the persistent mapping-cache store: an arbitrary
+//! sequence of store/touch/evict batches, persisted and reloaded into a
+//! fresh cache, must reproduce the surviving entries, their LRU epochs, and
+//! — after re-compaction — the exact file bytes. The compacted file is a
+//! pure function of the logical request history.
+
+use defines_arch::MemoryLevelId;
+use defines_mapping::{
+    Access, AccessBreakdown, CacheStore, LayerCost, MappingCache, ProblemKey, TemporalLoop,
+    TemporalMapping,
+};
+use defines_workload::{Dim, LayerDims, OpType};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A fresh store path per invocation (cases run sequentially per test, but
+/// tests run in parallel).
+fn fresh_path(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("defines-persist-prop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}-{n}.jsonl"))
+}
+
+/// Deterministic splitmix-style stream for deriving entry contents from a
+/// proptest-drawn seed.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A synthetic but structurally honest key: every field the fingerprint and
+/// the serializer cover varies with `i`.
+fn key(i: u64, accelerator: u64) -> ProblemKey {
+    let ops = [
+        OpType::Conv,
+        OpType::DepthwiseConv,
+        OpType::Pooling,
+        OpType::Add,
+    ];
+    ProblemKey {
+        accelerator,
+        op: ops[(i % 4) as usize],
+        dims: LayerDims {
+            b: 1 + i % 2,
+            k: 8 + i,
+            c: 3 + i % 5,
+            ox: 16 + i % 7,
+            oy: 16 + (i / 2) % 7,
+            fx: 1 + i % 3,
+            fy: 1 + (i / 3) % 3,
+            stride_x: 1 + i % 2,
+            stride_y: 1,
+            pad_x: i % 2,
+            pad_y: (i / 2) % 2,
+        },
+        act_bits: if i.is_multiple_of(2) { 8 } else { 16 },
+        weight_bits: 8,
+        top_levels: defines_mapping::OperandTopLevels {
+            weight: MemoryLevelId((i % 3) as usize),
+            input: MemoryLevelId(2),
+            output: MemoryLevelId(((i / 3) % 3) as usize),
+        },
+        mapper: i.wrapping_mul(0x1234_5678_9abc_def1),
+    }
+}
+
+/// A synthetic cost exercising every serialized field, including the access
+/// breakdown map and the temporal mapping loops.
+fn cost(i: u64) -> LayerCost {
+    let f = |n: u64| (n % 100_000) as f64 * 0.25 + 1.0;
+    LayerCost {
+        energy_pj: f(i.wrapping_mul(3)),
+        mac_energy_pj: f(i.wrapping_mul(5)),
+        memory_energy_pj: f(i.wrapping_mul(7)),
+        latency_cycles: f(i.wrapping_mul(11)),
+        compute_cycles: f(i.wrapping_mul(13)),
+        macs: i * 1000 + 1,
+        accesses: AccessBreakdown::from_entries(vec![
+            (
+                (MemoryLevelId(0), defines_arch::Operand::Input),
+                Access {
+                    reads_bytes: f(i),
+                    writes_bytes: f(i + 1),
+                },
+            ),
+            (
+                (
+                    MemoryLevelId((i % 3) as usize),
+                    defines_arch::Operand::Output,
+                ),
+                Access {
+                    reads_bytes: f(i + 2),
+                    writes_bytes: f(i + 3),
+                },
+            ),
+        ]),
+        mapping: TemporalMapping::from_loops(vec![
+            TemporalLoop {
+                dim: Dim::OX,
+                size: 2 + i % 6,
+            },
+            TemporalLoop {
+                dim: Dim::K,
+                size: 2 + i % 4,
+            },
+        ]),
+        degraded: i.is_multiple_of(5),
+    }
+}
+
+/// Replays a batched usage history into a store: each batch preloads /
+/// touches its keys at the current epoch, then syncs (which advances the
+/// epoch — the batch boundary).
+fn replay(store: &mut CacheStore, cache: &MappingCache, batches: &[Vec<u64>], accelerator: u64) {
+    for batch in batches {
+        for &i in batch {
+            let k = key(i, accelerator);
+            cache.preload(k.clone(), Arc::new(cost(i)));
+            cache.set_usage(k, cache.current_epoch());
+        }
+        store.sync().expect("sync");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn store_evict_persist_reload_reproduces_entries_and_bytes(
+        seed in 0u64..u64::MAX,
+        n_batches in 1usize..5,
+        batch_size in 1usize..8,
+        bound in 0usize..10,
+        accelerator in 1u64..u64::MAX,
+    ) {
+        // Derive the usage history: batches of key indices with deliberate
+        // overlap so later batches re-touch earlier entries.
+        let mut state = seed;
+        let universe = 2 + (mix(&mut state) % 12);
+        let batches: Vec<Vec<u64>> = (0..n_batches)
+            .map(|_| (0..batch_size).map(|_| mix(&mut state) % universe).collect())
+            .collect();
+
+        // First life: populate, sync per batch, evict at the bound.
+        let path = fresh_path("roundtrip");
+        let cache_a = MappingCache::new();
+        let mut store_a = CacheStore::open(&path, cache_a.clone(), bound).expect("open");
+        replay(&mut store_a, &cache_a, &batches, accelerator);
+        store_a.compact_now().expect("compact");
+        let stats_a = store_a.stats();
+        let entries_a = cache_a.entries();
+        let bytes_a = std::fs::read(&path).expect("read store file");
+        drop(store_a);
+
+        if bound > 0 {
+            prop_assert!(entries_a.len() <= bound,
+                "bound {bound} violated: {} entries", entries_a.len());
+        }
+        prop_assert_eq!(stats_a.entries, entries_a.len());
+
+        // Second life: a fresh cache reloaded from the file must hold the
+        // same entries with the same costs...
+        let cache_b = MappingCache::new();
+        let mut store_b = CacheStore::open(&path, cache_b.clone(), bound).expect("reopen");
+        prop_assert_eq!(store_b.stats().loaded as usize, entries_a.len());
+        let entries_b = cache_b.entries();
+        prop_assert_eq!(entries_a.len(), entries_b.len());
+        for ((ka, ca), (kb, cb)) in entries_a.iter().zip(&entries_b) {
+            prop_assert_eq!(ka, kb, "reloaded key order diverged");
+            prop_assert_eq!(ca.as_ref(), cb.as_ref(), "reloaded cost diverged for {:?}", ka);
+        }
+        // ...and re-compacting must byte-reproduce the file: the epochs (LRU
+        // order) survived the round-trip exactly.
+        store_b.compact_now().expect("recompact");
+        let bytes_b = std::fs::read(&path).expect("read recompacted file");
+        prop_assert_eq!(&bytes_a, &bytes_b, "compacted file is not a pure function of state");
+
+        // Third life, asymmetric sync schedule: replaying the same history
+        // in one store with per-batch syncs (above) and in another with the
+        // same batches against a *fresh* file must converge to the same
+        // compacted bytes — persistence timing is not observable.
+        let path_c = fresh_path("replay");
+        let cache_c = MappingCache::new();
+        let mut store_c = CacheStore::open(&path_c, cache_c.clone(), bound).expect("open c");
+        replay(&mut store_c, &cache_c, &batches, accelerator);
+        store_c.compact_now().expect("compact c");
+        let bytes_c = std::fs::read(&path_c).expect("read replayed file");
+        prop_assert_eq!(&bytes_a, &bytes_c, "replayed history produced different bytes");
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&path_c);
+    }
+}
+
+/// Deterministic LRU pin-down: with a bound of 2, the entry whose last use
+/// is oldest goes first, and ties on the epoch break by key order.
+#[test]
+fn eviction_is_least_recently_used_with_key_tiebreak() {
+    let path = fresh_path("lru");
+    let cache = MappingCache::new();
+    let mut store = CacheStore::open(&path, cache.clone(), 2).expect("open");
+    let acc = 42u64;
+
+    // Batch 0: keys 0 and 1. Batch 1: re-touch 0, add 2 → bound exceeded.
+    replay(&mut store, &cache, &[vec![0, 1], vec![0, 2]], acc);
+    let entries: Vec<ProblemKey> = cache.entries().into_iter().map(|(k, _)| k).collect();
+    assert_eq!(entries.len(), 2);
+    assert!(
+        !entries.contains(&key(1, acc)),
+        "key 1 (least recently used) should have been evicted"
+    );
+    assert!(
+        entries.contains(&key(0, acc)),
+        "re-touched key 0 must survive"
+    );
+    assert!(entries.contains(&key(2, acc)), "fresh key 2 must survive");
+    assert_eq!(store.stats().evicted, 1);
+
+    let _ = std::fs::remove_file(&path);
+
+    // Same-epoch tie: three keys arrive in one batch against a bound of 2;
+    // the smallest key is the deterministic victim.
+    let path = fresh_path("lru-tie");
+    let cache = MappingCache::new();
+    let mut store = CacheStore::open(&path, cache.clone(), 2).expect("open");
+    replay(&mut store, &cache, &[vec![3, 4, 5]], acc);
+    let entries: Vec<ProblemKey> = cache.entries().into_iter().map(|(k, _)| k).collect();
+    assert_eq!(entries.len(), 2);
+    let mut tied = [key(3, acc), key(4, acc), key(5, acc)];
+    tied.sort();
+    assert!(
+        !entries.contains(&tied[0]),
+        "the smallest same-epoch key is the deterministic victim"
+    );
+    assert!(entries.contains(&tied[1]));
+    assert!(entries.contains(&tied[2]));
+    assert_eq!(store.stats().evicted, 1);
+    let _ = std::fs::remove_file(&path);
+}

@@ -71,7 +71,7 @@ impl fmt::Display for Dim {
 /// assert_eq!(d.input_width(), 65);
 /// assert_eq!(d.total_macs(), 16 * 3 * 32 * 32 * 9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct LayerDims {
     /// Batch size.
     pub b: u64,

@@ -30,7 +30,7 @@ impl fmt::Display for LayerId {
 /// * [`OpType::Add`] — element-wise addition of two feature maps (residual
 ///   connections); no weights, no MACs in the conv sense (modelled as one
 ///   operation per output element).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum OpType {
     /// Dense convolution (also used for fully-connected layers with
     /// `OX = OY = FX = FY = 1`).
